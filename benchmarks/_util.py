@@ -1,0 +1,23 @@
+"""Shared benchmark helpers (importable module; the conftest holds fixtures)."""
+
+from __future__ import annotations
+
+import os
+
+
+def full_scale() -> bool:
+    """Whether to run paper-scale benchmark configurations.
+
+    Set ``SOF_BENCH_FULL=1`` in the environment to enable.
+    """
+    return os.environ.get("SOF_BENCH_FULL", "0") == "1"
+
+
+def shape_check(label: str, ok: bool) -> None:
+    """Print a PASS/WARN line for a qualitative shape expectation.
+
+    Benchmarks never *fail* on shape (single-seed noise is expected); the
+    printed verdicts are collected into EXPERIMENTS.md.
+    """
+    verdict = "PASS" if ok else "WARN"
+    print(f"  [shape:{verdict}] {label}")

@@ -1,0 +1,48 @@
+"""Ablation: k-stroll solver choice inside SOFDA (DESIGN.md 5.1).
+
+Compares the exact subset DP against the cheapest-insertion and
+nearest-extension heuristics on SoftLayer instances small enough for the
+exact solver, measuring both solution cost and runtime.
+"""
+
+import statistics
+import time
+
+from _util import shape_check
+
+from repro.core.problem import ServiceChain
+from repro.core.sofda import sofda
+from repro.topology import softlayer_network
+
+METHODS = ("exact", "insertion", "greedy")
+
+
+def _run_ablation(seeds=6):
+    network = softlayer_network(seed=1)
+    costs = {m: [] for m in METHODS}
+    times = {m: [] for m in METHODS}
+    for seed in range(seeds):
+        instance = network.make_instance(
+            num_sources=6, num_destinations=4, num_vms=12,
+            chain=ServiceChain.of_length(4), seed=seed,
+        )
+        for method in METHODS:
+            start = time.perf_counter()
+            result = sofda(instance, kstroll_method=method)
+            times[method].append(time.perf_counter() - start)
+            costs[method].append(result.cost)
+    return costs, times
+
+
+def test_ablation_kstroll(once):
+    costs, times = once(_run_ablation)
+    print("\nAblation -- k-stroll solver inside SOFDA (12 VMs, |C|=4)")
+    for method in METHODS:
+        print(f"  {method:10s} cost={statistics.mean(costs[method]):8.2f} "
+              f"time={statistics.mean(times[method])*1000:7.1f} ms")
+    exact = statistics.mean(costs["exact"])
+    insertion = statistics.mean(costs["insertion"])
+    shape_check("exact k-stroll never loses to insertion on cost",
+                all(e <= i + 1e-6 for e, i in zip(costs["exact"], costs["insertion"])))
+    shape_check("insertion heuristic within 10% of exact on average",
+                insertion <= exact * 1.10)

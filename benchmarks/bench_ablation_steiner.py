@@ -1,0 +1,46 @@
+"""Ablation: Steiner solver choice inside SOFDA (DESIGN.md 5.2).
+
+KMB vs Mehlhorn vs the exact Dreyfus--Wagner DP on instances with few
+destinations (where the exact DP is feasible).
+"""
+
+import statistics
+import time
+
+from _util import shape_check
+
+from repro.core.problem import ServiceChain
+from repro.core.sofda import sofda
+from repro.topology import softlayer_network
+
+METHODS = ("kmb", "mehlhorn", "exact")
+
+
+def _run_ablation(seeds=6):
+    network = softlayer_network(seed=1)
+    costs = {m: [] for m in METHODS}
+    times = {m: [] for m in METHODS}
+    for seed in range(seeds):
+        instance = network.make_instance(
+            num_sources=6, num_destinations=4, num_vms=12,
+            chain=ServiceChain.of_length(3), seed=seed,
+        )
+        for method in METHODS:
+            start = time.perf_counter()
+            result = sofda(instance, steiner_method=method)
+            times[method].append(time.perf_counter() - start)
+            costs[method].append(result.cost)
+    return costs, times
+
+
+def test_ablation_steiner(once):
+    costs, times = once(_run_ablation)
+    print("\nAblation -- Steiner solver inside SOFDA (|D|=4)")
+    for method in METHODS:
+        print(f"  {method:10s} cost={statistics.mean(costs[method]):8.2f} "
+              f"time={statistics.mean(times[method])*1000:7.1f} ms")
+    shape_check("exact Steiner never loses to KMB on cost",
+                all(e <= k + 1e-6 for e, k in zip(costs["exact"], costs["kmb"])))
+    shape_check("KMB within 15% of exact on average",
+                statistics.mean(costs["kmb"])
+                <= statistics.mean(costs["exact"]) * 1.15)

@@ -1,0 +1,51 @@
+"""Fig. 9: the four cost sweeps on Cogent (190 nodes; no CPLEX).
+
+Paper shape: same trends as Fig. 8 with larger absolute costs and wider
+algorithm gaps ("the improvement is more significant because larger
+networks contain more candidate nodes and links").
+"""
+
+from _util import full_scale, shape_check
+
+from repro.experiments import fig9_cogent, render_series
+from repro.experiments.harness import SWEEPS
+
+
+def _config():
+    if full_scale():
+        return dict(seeds=5, sweeps=SWEEPS, overrides=None)
+    return dict(
+        seeds=2,
+        sweeps={
+            "num_sources": [2, 14, 26],
+            "num_destinations": [2, 6, 10],
+            "num_vms": [5, 25, 45],
+            "chain_length": [3, 5, 7],
+        },
+        overrides=None,
+    )
+
+
+def test_fig9_cogent(once):
+    panels = once(fig9_cogent, **_config())
+    print("\nFig. 9 -- Cogent (paper: SOFDA < eNEMP/eST < ST, same trends "
+          "as Fig. 8, larger gaps)")
+    for parameter, result in panels.items():
+        print(render_series(result, title=f"--- Fig. 9 {parameter} ---"))
+        print()
+    sofda = {p: r.mean_cost["SOFDA"] for p, r in panels.items()}
+    st = {p: r.mean_cost["ST"] for p, r in panels.items()}
+    shape_check("cost falls as sources grow",
+                sofda["num_sources"][0] >= sofda["num_sources"][-1])
+    shape_check("cost rises as destinations grow",
+                sofda["num_destinations"][0] <= sofda["num_destinations"][-1])
+    shape_check("cost falls as VMs grow",
+                sofda["num_vms"][0] >= sofda["num_vms"][-1])
+    shape_check("cost rises with chain length",
+                sofda["chain_length"][0] <= sofda["chain_length"][-1])
+    margins = [
+        (t - s) / t for p in panels for s, t in zip(sofda[p], st[p]) if t > 0
+    ]
+    print(f"  SOFDA vs ST margin: mean={100*sum(margins)/len(margins):.1f}%")
+    shape_check("SOFDA beats ST by a clear margin on average",
+                sum(margins) / len(margins) > 0.05)

@@ -1,0 +1,48 @@
+"""Fig. 10: the four cost sweeps on the Inet-style synthetic topology.
+
+Paper scale is 5000 nodes / 10000 links / 2000 DCs; the quick bench uses a
+10x scaled-down topology (same generator, same degree distribution) --
+set SOF_BENCH_FULL=1 for the paper scale.
+"""
+
+from _util import full_scale, shape_check
+
+from repro.experiments import fig10_inet, render_series
+from repro.experiments.harness import SWEEPS
+
+
+def _config():
+    if full_scale():
+        return dict(
+            seeds=3, num_nodes=5000, num_links=10000, num_datacenters=2000,
+            sweeps=SWEEPS,
+        )
+    return dict(
+        seeds=2, num_nodes=500, num_links=1000, num_datacenters=200,
+        sweeps={
+            "num_sources": [2, 14, 26],
+            "num_destinations": [2, 6, 10],
+            "num_vms": [5, 25, 45],
+            "chain_length": [3, 5, 7],
+        },
+    )
+
+
+def test_fig10_inet(once):
+    panels = once(fig10_inet, **_config())
+    print("\nFig. 10 -- Inet synthetic (paper: SOFDA < eNEMP/eST < ST; "
+          "same four trends)")
+    for parameter, result in panels.items():
+        print(render_series(result, title=f"--- Fig. 10 {parameter} ---"))
+        print()
+    sofda = {p: r.mean_cost["SOFDA"] for p, r in panels.items()}
+    st = {p: r.mean_cost["ST"] for p, r in panels.items()}
+    shape_check("cost rises as destinations grow",
+                sofda["num_destinations"][0] <= sofda["num_destinations"][-1])
+    shape_check("cost falls as VMs grow",
+                sofda["num_vms"][0] >= sofda["num_vms"][-1])
+    shape_check("cost rises with chain length",
+                sofda["chain_length"][0] <= sofda["chain_length"][-1])
+    shape_check("SOFDA beats ST on average",
+                sum(s for p in panels for s in sofda[p])
+                <= sum(t for p in panels for t in st[p]))

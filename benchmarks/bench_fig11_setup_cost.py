@@ -1,0 +1,46 @@
+"""Fig. 11: impact of the VM setup-cost multiple (1x..9x) per chain length.
+
+Paper shape: (a) forest cost grows with both the setup-cost multiple and
+|C|; (b) the average number of used VMs falls as setup costs rise and
+grows with |C|.
+"""
+
+from _util import full_scale, shape_check
+
+from repro.experiments import fig11_setup_cost
+
+
+def _config():
+    if full_scale():
+        return dict(seeds=5, multiples=(1, 3, 5, 7, 9),
+                    chain_lengths=(3, 4, 5, 6, 7), overrides=None)
+    return dict(seeds=3, multiples=(1, 5, 9), chain_lengths=(3, 5, 7),
+                overrides={"num_sources": 8, "num_vms": 20})
+
+
+def test_fig11_setup_cost(once):
+    config = _config()
+    data = once(fig11_setup_cost, **config)
+    multiples = list(config["multiples"])
+    print("\nFig. 11(a) -- SOFDA cost vs setup-cost multiple "
+          "(paper: grows with multiple and |C|)")
+    for length, series in data["cost"].items():
+        row = "  ".join(f"{v:8.2f}" for v in series)
+        print(f"  |C|={length}: {row}   (multiples {multiples})")
+    print("Fig. 11(b) -- used VMs vs setup-cost multiple "
+          "(paper: falls with multiple, grows with |C|)")
+    for length, series in data["vms"].items():
+        row = "  ".join(f"{v:8.2f}" for v in series)
+        print(f"  |C|={length}: {row}")
+
+    lengths = sorted(data["cost"])
+    shape_check("cost grows with the setup-cost multiple (every |C|)",
+                all(data["cost"][c][0] <= data["cost"][c][-1] + 1e-9
+                    for c in lengths))
+    shape_check("cost grows with |C| (at 1x)",
+                data["cost"][lengths[0]][0] <= data["cost"][lengths[-1]][0] + 1e-9)
+    shape_check("used VMs do not increase with the setup-cost multiple",
+                all(data["vms"][c][0] >= data["vms"][c][-1] - 0.5
+                    for c in lengths))
+    shape_check("used VMs grow with |C|",
+                data["vms"][lengths[0]][0] < data["vms"][lengths[-1]][0])

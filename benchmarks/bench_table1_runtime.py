@@ -1,0 +1,46 @@
+"""Table I: SOFDA running time vs |V| (1000..5000) and |S| (2..26).
+
+Paper numbers (seconds): 1.35 at (1000, 2) up to 19.65 at (5000, 26);
+runtime grows with both dimensions.  Our pure-Python SOFDA is faster in
+absolute terms (different k-stroll/Steiner substitutes); the shape --
+monotone growth in both |V| and |S| -- is what the bench verifies.
+"""
+
+from _util import full_scale, shape_check
+
+from repro.experiments import table1_runtime
+
+PAPER = {
+    (1000, 2): 1.35, (1000, 26): 16.03,
+    (5000, 2): 2.25, (5000, 26): 19.65,
+}
+
+
+def _config():
+    if full_scale():
+        return dict(node_counts=(1000, 2000, 3000, 4000, 5000),
+                    source_counts=(2, 8, 14, 20, 26))
+    return dict(node_counts=(1000, 3000, 5000), source_counts=(2, 14, 26))
+
+
+def test_table1_runtime(once):
+    config = _config()
+    results = once(table1_runtime, **config)
+    print("\nTable I -- SOFDA runtime in seconds "
+          "(paper: 1.35 @ (1000,2) ... 19.65 @ (5000,26))")
+    nodes = list(config["node_counts"])
+    sources = list(config["source_counts"])
+    header = "  |V|     " + "  ".join(f"|S|={s:>3d}" for s in sources)
+    print(header)
+    for n in nodes:
+        row = "  ".join(f"{results[(n, s)]:7.2f}" for s in sources)
+        print(f"  {n:<7d} {row}")
+
+    shape_check("runtime grows with |S| at every |V|",
+                all(results[(n, sources[0])] <= results[(n, sources[-1])] * 1.2
+                    for n in nodes))
+    shape_check("runtime grows with |V| at max |S|",
+                results[(nodes[0], sources[-1])]
+                <= results[(nodes[-1], sources[-1])] * 1.2)
+    shape_check("largest case stays under the paper's 19.65 s",
+                results[(nodes[-1], sources[-1])] < 19.65)

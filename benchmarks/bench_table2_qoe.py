@@ -1,0 +1,40 @@
+"""Table II: video QoE on the experimental SDN (Fig. 13 topology).
+
+Paper (our testbed column): startup latency SOFDA 7.5 s < eNEMP 9.0 s <
+eST 10.0 s; re-buffering SOFDA 34.0 s < eNEMP 39.5 s < eST 41.0 s.
+
+Known deviation (see EXPERIMENTS.md): in the flow-level model, eST's
+short-hop trees achieve slightly better simulated QoE than SOFDA; the
+SOFDA < eNEMP ordering and the magnitudes (seconds of startup, tens of
+seconds of re-buffering on a 137 s stream) reproduce.
+"""
+
+from _util import full_scale, shape_check
+
+from repro.experiments import table2_qoe
+
+PAPER = {
+    "SOFDA": (7.5, 34.0),
+    "eNEMP": (9.0, 39.5),
+    "eST": (10.0, 41.0),
+}
+
+
+def test_table2_qoe(once):
+    trials = 60 if full_scale() else 20
+    rows = once(table2_qoe, trials=trials, seed=4)
+    print(f"\nTable II -- QoE over {trials} trials "
+          "(paper: SOFDA 7.5/34.0, eNEMP 9.0/39.5, eST 10.0/41.0)")
+    for name, row in rows.items():
+        paper_s, paper_r = PAPER[name]
+        print(f"  {name:6s} startup={row['startup_latency_s']:6.2f}s "
+              f"(paper {paper_s}) rebuffer={row['rebuffering_s']:7.2f}s "
+              f"(paper {paper_r})")
+    shape_check("SOFDA beats eNEMP on startup latency",
+                rows["SOFDA"]["startup_latency_s"]
+                <= rows["eNEMP"]["startup_latency_s"] + 1e-9)
+    shape_check("SOFDA beats eNEMP on re-buffering",
+                rows["SOFDA"]["rebuffering_s"]
+                <= rows["eNEMP"]["rebuffering_s"] + 1e-9)
+    shape_check("re-buffering magnitude is tens of seconds on a 137 s video",
+                all(5.0 < row["rebuffering_s"] < 137.0 for row in rows.values()))

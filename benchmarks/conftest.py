@@ -1,0 +1,21 @@
+"""Benchmark fixtures.
+
+Every benchmark regenerates one table or figure of the paper on a reduced
+default configuration (so the whole suite finishes in minutes) and prints
+the measured series next to the paper's reported shape.  Set
+``SOF_BENCH_FULL=1`` to run the paper-scale configurations.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+@pytest.fixture
+def once(benchmark):
+    """Run the benchmarked callable exactly once (sweeps are heavy)."""
+
+    def _run(fn, *args, **kwargs):
+        return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)
+
+    return _run

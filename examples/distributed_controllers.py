@@ -1,0 +1,50 @@
+"""Multi-controller SDN embedding (the paper's Section VI).
+
+A Cogent-scale backbone is split into four controller domains.  The
+distributed protocol exchanges border-router distance matrices, builds
+candidate service chains as virtual links, spans the destinations, and
+eliminates VNF conflicts across domains -- reaching exactly the
+centralized SOFDA forest while every inter-controller message is
+accounted.
+
+Run with:  python examples/distributed_controllers.py
+"""
+
+from repro import ServiceChain, sofda
+from repro.distributed import DistributedSOFDA
+from repro.topology import cogent_network
+
+NUM_DOMAINS = 4
+
+
+def main() -> None:
+    network = cogent_network(seed=1)
+    instance = network.make_instance(
+        num_sources=6, num_destinations=8, num_vms=15,
+        chain=ServiceChain.of_length(3), seed=13,
+    )
+    print(f"Backbone: {network}, split into {NUM_DOMAINS} controller domains\n")
+
+    distributed = DistributedSOFDA(instance, num_domains=NUM_DOMAINS, seed=2)
+    for controller in distributed.controllers:
+        print(f"  controller {controller.controller_id}: "
+              f"{len(controller.domain)} nodes, "
+              f"{len(controller.border_routers)} border routers")
+
+    result = distributed.run()
+    central = sofda(instance)
+    print(f"\nforest cost: distributed={result.cost:.2f} "
+          f"centralized={central.cost:.2f} "
+          f"(identical: {abs(result.cost - central.cost) < 1e-9})")
+    print(f"leader: controller {result.leader}")
+    print(f"abstraction lossless on sampled pairs: "
+          f"{distributed.verify_abstraction(samples=30)}")
+
+    print(f"\neast-west traffic: {result.bus.num_messages} messages, "
+          f"{result.bus.total_size} payload entries")
+    for kind, (count, size) in sorted(result.bus.by_kind().items()):
+        print(f"  {kind:18s} {count:4d} msgs {size:6d} entries")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,52 @@
+"""Quickstart: embed a service overlay forest on a small cloud network.
+
+Builds the paper's Fig. 2-style scenario -- two video sources, two
+subscriber sites, a two-function service chain (transcoder, watermarker)
+-- runs SOFDA and the exact IP, and prints both forests.
+
+Run with:  python examples/quickstart.py
+"""
+
+from repro import Graph, ServiceChain, SOFInstance, check_forest, sofda
+from repro.ilp import solve_sof_ilp
+
+
+def build_instance() -> SOFInstance:
+    """The Fig. 2(a)-style network: 2 sources, 6 VMs, 2 destinations."""
+    graph = Graph.from_edges([
+        # backbone ring
+        (1, 2, 1.0), (2, 4, 1.0), (4, 10, 1.0), (10, 6, 1.0), (6, 8, 1.0),
+        (0, 3, 1.0), (3, 11, 1.0), (11, 5, 1.0), (5, 7, 1.0), (7, 9, 1.0),
+        # cross links
+        (2, 3, 1.0), (4, 5, 8.0), (6, 7, 2.0), (1, 4, 11.0),
+        (4, 9, 20.0), (3, 4, 10.0),
+    ])
+    return SOFInstance(
+        graph=graph,
+        vms={2, 3, 4, 5, 6, 7},
+        sources={0, 1},
+        destinations={8, 9},
+        chain=ServiceChain(["transcoder", "watermarker"]),
+        node_costs={2: 10.0, 3: 10.0, 4: 10.0, 5: 20.0, 6: 20.0, 7: 10.0},
+    )
+
+
+def main() -> None:
+    instance = build_instance()
+    print(f"Instance: {instance}\n")
+
+    result = sofda(instance)
+    check_forest(instance, result.forest)
+    print("SOFDA forest:")
+    print(result.forest.describe())
+    print(f"conflict stats: {result.stats.as_dict()}\n")
+
+    solution = solve_sof_ilp(instance)
+    print(f"Exact IP optimum: {solution.objective:.2f}")
+    print(f"SOFDA/OPT ratio : {result.cost / solution.objective:.3f}")
+    print("(the paper's Theorem 3 guarantees at most 3*rho_ST ~= 6 with the "
+          "KMB Steiner solver; empirically SOFDA is near-optimal)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,12 @@
+"""Setuptools shim.
+
+The execution environment is offline and lacks the ``wheel`` package, so
+PEP 660 editable installs (``pip install -e .`` via pyproject.toml alone)
+fail with ``invalid command 'bdist_wheel'``.  This shim lets pip fall back
+to the legacy editable path (``--no-use-pep517``) while all metadata stays
+in ``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,51 @@
+"""repro -- Service Overlay Forest embedding for software-defined cloud networks.
+
+A full reproduction of Kuo et al., "Service Overlay Forest Embedding for
+Software-Defined Cloud Networks" (ICDCS 2017): the SOF problem model, the
+SOFDA-SS and SOFDA approximation algorithms, the exact IP formulation, the
+paper's baselines (ST / eST / eNEMP), topology generators, the online and
+distributed variants, a flow-level QoE testbed simulator and the complete
+experiment harness regenerating every table and figure of the evaluation.
+
+Quickstart::
+
+    from repro import SOFInstance, ServiceChain, sofda
+    from repro.topology import softlayer_network
+
+    net = softlayer_network(seed=1)
+    instance = net.make_instance(
+        num_sources=3, num_destinations=4, num_vms=10,
+        chain=ServiceChain.of_length(3), seed=1,
+    )
+    result = sofda(instance)
+    print(result.forest.describe())
+"""
+
+from repro.core import (
+    ChainWalk,
+    DeployedChain,
+    ForestInfeasible,
+    ServiceChain,
+    ServiceOverlayForest,
+    SOFInstance,
+    check_forest,
+    sofda,
+    sofda_ss,
+)
+from repro.graph import Graph
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Graph",
+    "ServiceChain",
+    "SOFInstance",
+    "DeployedChain",
+    "ServiceOverlayForest",
+    "ChainWalk",
+    "sofda",
+    "sofda_ss",
+    "check_forest",
+    "ForestInfeasible",
+    "__version__",
+]

@@ -1,0 +1,31 @@
+"""Baseline algorithms from the paper's evaluation (Section VIII-A).
+
+- :func:`~repro.baselines.st.st_baseline` -- **ST**: a single Steiner tree
+  rooted at the best source with one service chain appended.
+- :func:`~repro.baselines.est.est_baseline` -- **eST**: the enhanced Steiner
+  tree -- best-source Steiner tree plus the shortest service chain closest
+  to the tree (chain construction in the style of [13]/[62]), extended to
+  multiple sources via iterative tree addition.
+- :func:`~repro.baselines.enemp.enemp_baseline` -- **eNEMP**: the enhanced
+  NFV-enabled-multicast heuristic (Zhang et al. [27] generalised): pick the
+  VM minimising (source-distance + tree cost), route the chain through it,
+  also with iterative multi-source extension.
+- :mod:`~repro.baselines.multi_source` -- the shared iterative
+  tree-addition wrapper the paper describes for enabling eST/eNEMP to use
+  multiple sources.
+
+All baselines return plain :class:`~repro.core.forest.ServiceOverlayForest`
+objects evaluated by the same cost function as SOFDA and the IP.
+"""
+
+from repro.baselines.st import st_baseline
+from repro.baselines.est import est_baseline
+from repro.baselines.enemp import enemp_baseline
+from repro.baselines.multi_source import iterative_multi_source
+
+__all__ = [
+    "st_baseline",
+    "est_baseline",
+    "enemp_baseline",
+    "iterative_multi_source",
+]

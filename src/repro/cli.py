@@ -1,0 +1,217 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands map one-to-one onto the evaluation artefacts:
+
+- ``solve``     -- embed one sampled instance with every algorithm.
+- ``fig7/8/9/10/11/12`` -- regenerate a figure's data series.
+- ``table1/table2``     -- regenerate a table.
+
+All output is plain text in the paper's row/series format, so results can
+be diffed across runs.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.core.problem import ServiceChain
+from repro.core.sofda import sofda
+from repro.experiments import (
+    fig7_cost_function,
+    fig8_softlayer,
+    fig9_cogent,
+    fig10_inet,
+    fig11_setup_cost,
+    fig12_online,
+    render_series,
+    table1_runtime,
+    table2_qoe,
+)
+from repro.topology import cogent_network, inet_network, softlayer_network
+
+_NETWORKS = {
+    "softlayer": softlayer_network,
+    "cogent": cogent_network,
+    "inet": lambda seed=0: inet_network(
+        num_nodes=500, num_links=1000, num_datacenters=200, seed=seed
+    ),
+}
+
+
+def _cmd_solve(args: argparse.Namespace) -> int:
+    from repro.baselines import enemp_baseline, est_baseline, st_baseline
+
+    network = _NETWORKS[args.topology](seed=args.topology_seed)
+    instance = network.make_instance(
+        num_sources=args.sources,
+        num_destinations=args.destinations,
+        num_vms=args.vms,
+        chain=ServiceChain.of_length(args.chain),
+        seed=args.seed,
+    )
+    print(f"instance: {instance}")
+    result = sofda(instance)
+    print(f"{'SOFDA':10s} cost={result.cost:12.3f} "
+          f"trees={result.forest.num_trees()} "
+          f"vms={len(result.forest.used_vms())} "
+          f"conflicts={result.stats.total_conflicted()}")
+    for name, fn in (("eNEMP", enemp_baseline), ("eST", est_baseline),
+                     ("ST", st_baseline)):
+        forest = fn(instance)
+        print(f"{name:10s} cost={forest.total_cost():12.3f} "
+              f"trees={forest.num_trees()} vms={len(forest.used_vms())}")
+    if args.ilp:
+        from repro.ilp import solve_sof_ilp
+
+        solution = solve_sof_ilp(instance, time_limit=args.ilp_time_limit)
+        print(f"{'CPLEX':10s} cost={solution.objective:12.3f} "
+              f"optimal={solution.optimal}")
+    if args.verbose:
+        print()
+        print(result.forest.describe())
+    return 0
+
+
+def _cmd_fig7(args: argparse.Namespace) -> int:
+    for load, cost in fig7_cost_function(samples=args.samples):
+        print(f"{load:8.4f} {cost:12.4f}")
+    return 0
+
+
+def _print_panels(panels) -> None:
+    for parameter, result in panels.items():
+        print(render_series(result, title=f"--- {parameter} ---"))
+        print()
+
+
+def _cmd_fig8(args: argparse.Namespace) -> int:
+    _print_panels(fig8_softlayer(seeds=args.seeds, include_ilp=args.ilp))
+    return 0
+
+
+def _cmd_fig9(args: argparse.Namespace) -> int:
+    _print_panels(fig9_cogent(seeds=args.seeds))
+    return 0
+
+
+def _cmd_fig10(args: argparse.Namespace) -> int:
+    _print_panels(fig10_inet(
+        seeds=args.seeds, num_nodes=args.nodes,
+        num_links=2 * args.nodes, num_datacenters=args.nodes // 3,
+    ))
+    return 0
+
+
+def _cmd_fig11(args: argparse.Namespace) -> int:
+    data = fig11_setup_cost(seeds=args.seeds)
+    print("cost (rows: |C|, cols: multiples 1,3,5,7,9)")
+    for length, series in data["cost"].items():
+        print(f"  |C|={length}: " + "  ".join(f"{v:9.2f}" for v in series))
+    print("used VMs")
+    for length, series in data["vms"].items():
+        print(f"  |C|={length}: " + "  ".join(f"{v:9.2f}" for v in series))
+    return 0
+
+
+def _cmd_fig12(args: argparse.Namespace) -> int:
+    series = fig12_online(topology=args.topology, num_requests=args.requests)
+    for name, acc in series.items():
+        print(f"{name:8s} " + " ".join(f"{v:10.1f}" for v in acc))
+    return 0
+
+
+def _cmd_table1(args: argparse.Namespace) -> int:
+    results = table1_runtime(
+        node_counts=tuple(args.nodes), source_counts=tuple(args.sources)
+    )
+    header = "|V|      " + "  ".join(f"|S|={s:>3d}" for s in args.sources)
+    print(header)
+    for n in args.nodes:
+        print(f"{n:<8d} " + "  ".join(
+            f"{results[(n, s)]:7.2f}" for s in args.sources
+        ))
+    return 0
+
+
+def _cmd_table2(args: argparse.Namespace) -> int:
+    rows = table2_qoe(trials=args.trials)
+    print(f"{'algo':8s} {'startup(s)':>11s} {'rebuffer(s)':>12s}")
+    for name, row in rows.items():
+        print(f"{name:8s} {row['startup_latency_s']:11.2f} "
+              f"{row['rebuffering_s']:12.2f}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the CLI argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Service Overlay Forest embedding (ICDCS'17 reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    solve = sub.add_parser("solve", help="embed one instance with every algorithm")
+    solve.add_argument("--topology", choices=sorted(_NETWORKS), default="softlayer")
+    solve.add_argument("--topology-seed", type=int, default=1)
+    solve.add_argument("--sources", type=int, default=14)
+    solve.add_argument("--destinations", type=int, default=6)
+    solve.add_argument("--vms", type=int, default=25)
+    solve.add_argument("--chain", type=int, default=3)
+    solve.add_argument("--seed", type=int, default=0)
+    solve.add_argument("--ilp", action="store_true", help="also solve the exact IP")
+    solve.add_argument("--ilp-time-limit", type=float, default=120.0)
+    solve.add_argument("--verbose", action="store_true")
+    solve.set_defaults(func=_cmd_solve)
+
+    fig7 = sub.add_parser("fig7", help="Fortz-Thorup cost curve")
+    fig7.add_argument("--samples", type=int, default=25)
+    fig7.set_defaults(func=_cmd_fig7)
+
+    for name, fn, extra in (
+        ("fig8", _cmd_fig8, True),
+        ("fig9", _cmd_fig9, False),
+    ):
+        p = sub.add_parser(name, help=f"{name} sweeps")
+        p.add_argument("--seeds", type=int, default=3)
+        if extra:
+            p.add_argument("--ilp", action="store_true")
+        p.set_defaults(func=fn)
+
+    fig10 = sub.add_parser("fig10", help="Inet synthetic sweeps")
+    fig10.add_argument("--seeds", type=int, default=2)
+    fig10.add_argument("--nodes", type=int, default=500)
+    fig10.set_defaults(func=_cmd_fig10)
+
+    fig11 = sub.add_parser("fig11", help="setup-cost sweeps")
+    fig11.add_argument("--seeds", type=int, default=3)
+    fig11.set_defaults(func=_cmd_fig11)
+
+    fig12 = sub.add_parser("fig12", help="online accumulative cost")
+    fig12.add_argument("--topology", choices=["softlayer", "cogent"],
+                       default="softlayer")
+    fig12.add_argument("--requests", type=int, default=12)
+    fig12.set_defaults(func=_cmd_fig12)
+
+    table1 = sub.add_parser("table1", help="SOFDA runtime grid")
+    table1.add_argument("--nodes", type=int, nargs="+",
+                        default=[1000, 3000, 5000])
+    table1.add_argument("--sources", type=int, nargs="+", default=[2, 14, 26])
+    table1.set_defaults(func=_cmd_table1)
+
+    table2 = sub.add_parser("table2", help="testbed QoE")
+    table2.add_argument("--trials", type=int, default=20)
+    table2.set_defaults(func=_cmd_table2)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

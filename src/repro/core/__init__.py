@@ -1,0 +1,39 @@
+"""Core SOF problem model and the paper's algorithms.
+
+Public surface:
+
+- :class:`~repro.core.problem.SOFInstance` / :class:`~repro.core.problem.ServiceChain`
+  -- the problem input (Section III).
+- :class:`~repro.core.forest.ServiceOverlayForest` -- the solution object,
+  with clone-aware cost accounting and feasibility validation.
+- :func:`~repro.core.sofda_ss.sofda_ss` -- the single-source
+  ``(2+ρST)``-approximation (Section IV, Algorithm 1).
+- :func:`~repro.core.sofda.sofda` -- the general ``3ρST``-approximation
+  (Section V, Algorithm 2), including VNF-conflict resolution.
+- :mod:`~repro.core.dynamic` -- the six dynamic adjustments of Section VII-C.
+"""
+
+from repro.core.problem import ServiceChain, SOFInstance
+from repro.core.forest import DeployedChain, ServiceOverlayForest
+from repro.core.transform import (
+    build_kstroll_instance,
+    chain_walk,
+    ChainWalk,
+)
+from repro.core.sofda_ss import sofda_ss
+from repro.core.sofda import sofda
+from repro.core.validation import check_forest, ForestInfeasible
+
+__all__ = [
+    "ServiceChain",
+    "SOFInstance",
+    "DeployedChain",
+    "ServiceOverlayForest",
+    "build_kstroll_instance",
+    "chain_walk",
+    "ChainWalk",
+    "sofda_ss",
+    "sofda",
+    "check_forest",
+    "ForestInfeasible",
+]

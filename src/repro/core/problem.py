@@ -1,0 +1,208 @@
+"""The Service Overlay Forest problem input (Section III of the paper).
+
+An instance bundles the network ``G = {V = M ∪ U, E}``, the VM setup costs,
+the source and destination sets and the demanded VNF chain
+``C = (f1, ..., f|C|)``.  Switches carry cost 0; every VM may run at most
+one VNF (the paper handles multi-VNF hosts by replicating the VM node,
+see :meth:`SOFInstance.replicate_vms`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Hashable, Iterable, Optional, Tuple
+
+from repro.graph import DistanceOracle, Graph
+
+Node = Hashable
+
+
+@dataclass(frozen=True)
+class ServiceChain:
+    """An ordered chain of VNF names, e.g. ``("transcoder", "watermarker")``.
+
+    Functions are identified by *position*: the i-th entry is the paper's
+    ``f_{i+1}``.  Names need not be unique -- a chain may legitimately
+    demand the same function type twice -- so algorithms always reference
+    functions by index.
+    """
+
+    functions: Tuple[str, ...]
+
+    def __init__(self, functions: Iterable[str]) -> None:
+        object.__setattr__(self, "functions", tuple(functions))
+        if not self.functions:
+            raise ValueError("a service chain must contain at least one VNF")
+
+    def __len__(self) -> int:
+        return len(self.functions)
+
+    def __iter__(self):
+        return iter(self.functions)
+
+    def __getitem__(self, index: int) -> str:
+        return self.functions[index]
+
+    @classmethod
+    def of_length(cls, length: int, prefix: str = "f") -> "ServiceChain":
+        """Build a generic chain ``(f1, ..., f_length)``."""
+        if length < 1:
+            raise ValueError("chain length must be >= 1")
+        return cls(f"{prefix}{i + 1}" for i in range(length))
+
+
+@dataclass
+class SOFInstance:
+    """A complete SOF problem instance.
+
+    Attributes:
+        graph: the network ``G``; edge costs are the connection costs.
+        vms: the VM node set ``M`` (must be a subset of the graph nodes).
+        sources: candidate sources ``S``.
+        destinations: destinations ``D``.
+        chain: the demanded VNF chain ``C``.
+        node_costs: setup cost of each VM; nodes absent from the mapping
+            (switches, sources, destinations) cost 0.
+        source_costs: optional per-source setup cost (Appendix D); the main
+            body of the paper assumes these are 0.
+    """
+
+    graph: Graph
+    vms: FrozenSet[Node]
+    sources: FrozenSet[Node]
+    destinations: FrozenSet[Node]
+    chain: ServiceChain
+    node_costs: Dict[Node, float] = field(default_factory=dict)
+    source_costs: Dict[Node, float] = field(default_factory=dict)
+    _oracle: Optional[DistanceOracle] = field(default=None, repr=False, compare=False)
+
+    def __init__(
+        self,
+        graph: Graph,
+        vms: Iterable[Node],
+        sources: Iterable[Node],
+        destinations: Iterable[Node],
+        chain: ServiceChain,
+        node_costs: Optional[Dict[Node, float]] = None,
+        source_costs: Optional[Dict[Node, float]] = None,
+    ) -> None:
+        self.graph = graph
+        self.vms = frozenset(vms)
+        self.sources = frozenset(sources)
+        self.destinations = frozenset(destinations)
+        self.chain = chain
+        self.node_costs = dict(node_costs or {})
+        self.source_costs = dict(source_costs or {})
+        self._oracle = None
+        self.validate()
+
+    # ------------------------------------------------------------------
+    def validate(self) -> None:
+        """Check structural well-formedness; raises ``ValueError`` on error."""
+        for name, nodes in (("VM", self.vms), ("source", self.sources),
+                            ("destination", self.destinations)):
+            for node in nodes:
+                if node not in self.graph:
+                    raise ValueError(f"{name} node {node!r} is not in the graph")
+        if not self.sources:
+            raise ValueError("at least one source is required")
+        if not self.destinations:
+            raise ValueError("at least one destination is required")
+        for node, cost in self.node_costs.items():
+            if cost < 0:
+                raise ValueError(f"negative setup cost on {node!r}")
+        if len(self.vms) < len(self.chain):
+            raise ValueError(
+                f"chain of length {len(self.chain)} cannot be embedded with "
+                f"only {len(self.vms)} VMs (one VNF per VM)"
+            )
+
+    # ------------------------------------------------------------------
+    @property
+    def oracle(self) -> DistanceOracle:
+        """Shared shortest-path oracle over the instance graph (lazy)."""
+        if self._oracle is None:
+            self._oracle = DistanceOracle(self.graph)
+        return self._oracle
+
+    def invalidate_oracle(self) -> None:
+        """Drop cached shortest paths (after graph/cost mutation)."""
+        self._oracle = None
+
+    def setup_cost(self, node: Node) -> float:
+        """Setup cost of ``node`` (0 for switches/non-VMs)."""
+        return self.node_costs.get(node, 0.0)
+
+    def source_setup_cost(self, node: Node) -> float:
+        """Setup cost of enabling ``node`` as a source (Appendix D; default 0)."""
+        return self.source_costs.get(node, 0.0)
+
+    def switches(self) -> FrozenSet[Node]:
+        """The switch set ``U = V \\ M``."""
+        return frozenset(self.graph.nodes()) - self.vms
+
+    # ------------------------------------------------------------------
+    def replicate_vms(self, copies: int, attach_cost: float = 0.0) -> "SOFInstance":
+        """Return a new instance where each VM is replicated ``copies`` times.
+
+        Implements the paper's remark that a host able to run multiple VNFs
+        is modelled "by first replicating the VM multiple times in the input
+        graph".  Each replica ``(vm, i)`` is attached to the original VM
+        node with an ``attach_cost`` edge and inherits its setup cost.
+        """
+        if copies < 1:
+            raise ValueError("copies must be >= 1")
+        graph = self.graph.copy()
+        new_vms = set(self.vms)
+        node_costs = dict(self.node_costs)
+        for vm in self.vms:
+            for i in range(1, copies):
+                replica = (vm, f"replica{i}")
+                graph.add_node(replica)
+                graph.add_edge(vm, replica, attach_cost)
+                new_vms.add(replica)
+                node_costs[replica] = self.setup_cost(vm)
+        return SOFInstance(
+            graph=graph,
+            vms=new_vms,
+            sources=self.sources,
+            destinations=self.destinations,
+            chain=self.chain,
+            node_costs=node_costs,
+            source_costs=self.source_costs,
+        )
+
+    def with_chain(self, chain: ServiceChain) -> "SOFInstance":
+        """Return a copy of the instance demanding a different chain."""
+        clone = SOFInstance(
+            graph=self.graph,
+            vms=self.vms,
+            sources=self.sources,
+            destinations=self.destinations,
+            chain=chain,
+            node_costs=self.node_costs,
+            source_costs=self.source_costs,
+        )
+        clone._oracle = self._oracle  # shortest paths do not depend on the chain
+        return clone
+
+    def restrict_sources(self, sources: Iterable[Node]) -> "SOFInstance":
+        """Return a copy restricted to a subset of the sources."""
+        clone = SOFInstance(
+            graph=self.graph,
+            vms=self.vms,
+            sources=sources,
+            destinations=self.destinations,
+            chain=self.chain,
+            node_costs=self.node_costs,
+            source_costs=self.source_costs,
+        )
+        clone._oracle = self._oracle
+        return clone
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"SOFInstance(|V|={len(self.graph)}, |E|={self.graph.num_edges()}, "
+            f"|M|={len(self.vms)}, |S|={len(self.sources)}, "
+            f"|D|={len(self.destinations)}, |C|={len(self.chain)})"
+        )

@@ -1,0 +1,86 @@
+"""The NP-hardness reduction of Theorem 1 (Appendix A).
+
+The paper proves SOF NP-hard by reducing the (metric) Steiner Tree problem
+to it: given a Steiner instance ``(G, r, U)``, build an SOF instance by
+making ``r`` the single VM, the nodes of ``U`` the destinations, a fresh
+source ``s`` attached to ``r`` by an edge of weight ``w > 0``, and a chain
+of length one.  Then ``OPT_SOF = OPT_Steiner + w``.
+
+:func:`steiner_to_sof` constructs the reduction;
+:func:`verify_reduction` checks the optimum identity with the exact
+solvers on a given instance (used by the test suite -- an executable proof
+sketch of Theorem 1).
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, Iterable, Tuple
+
+from repro.core.problem import ServiceChain, SOFInstance
+from repro.graph import Graph
+
+Node = Hashable
+
+#: The fresh source node added by the reduction.
+REDUCTION_SOURCE = "__reduction_source__"
+
+
+def steiner_to_sof(
+    graph: Graph,
+    root: Node,
+    terminals: Iterable[Node],
+    edge_weight: float = 1.0,
+) -> SOFInstance:
+    """Build the Theorem-1 SOF instance from a Steiner Tree instance.
+
+    Args:
+        graph: the Steiner instance's weighted graph.
+        root: the Steiner root ``r`` (becomes the only VM).
+        terminals: the node set ``U`` to span (become the destinations).
+        edge_weight: the weight ``w > 0`` of the new source--root edge.
+
+    Returns:
+        The SOF instance whose optimum is ``OPT_Steiner + w``.
+    """
+    if edge_weight <= 0:
+        raise ValueError("the reduction requires w > 0")
+    terminal_set = set(terminals)
+    if root in terminal_set:
+        raise ValueError("the root must not be a terminal")
+    if REDUCTION_SOURCE in graph:
+        raise ValueError("graph already contains the reduction source node")
+    work = graph.copy()
+    work.add_edge(REDUCTION_SOURCE, root, edge_weight)
+    return SOFInstance(
+        graph=work,
+        vms={root},
+        sources={REDUCTION_SOURCE},
+        destinations=terminal_set,
+        chain=ServiceChain(["f1"]),
+        node_costs={root: 0.0},
+    )
+
+
+def verify_reduction(
+    graph: Graph,
+    root: Node,
+    terminals: Iterable[Node],
+    edge_weight: float = 1.0,
+) -> Tuple[float, float]:
+    """Solve both sides of the reduction exactly and return the optima.
+
+    Returns ``(opt_steiner, opt_sof)``; Theorem 1 asserts
+    ``opt_sof == opt_steiner + edge_weight``.  Uses the exact
+    Dreyfus--Wagner Steiner solver and the exact IP, so it is only
+    practical on small instances.
+    """
+    from repro.graph import steiner_tree
+    from repro.ilp import solve_sof_ilp
+
+    terminal_list = sorted(set(terminals), key=repr)
+    opt_steiner = steiner_tree(
+        graph, [root] + terminal_list, method="exact"
+    ).cost
+    instance = steiner_to_sof(graph, root, terminal_list, edge_weight)
+    opt_sof = solve_sof_ilp(instance, decode=False).objective
+    return opt_steiner, opt_sof

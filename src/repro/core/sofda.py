@@ -1,0 +1,183 @@
+"""SOFDA: the general multi-source ``3ρST``-approximation (Section V).
+
+Algorithm 2 of the paper:
+
+1. **Procedure 3** -- build the auxiliary Steiner instance ``Ĝ``:
+   duplicate every source ``v`` as ``v̂`` and every VM ``u`` as ``û``; add a
+   virtual super-source ``ŝ``; connect ``ŝ -- v̂`` and ``u -- û`` with
+   zero-cost edges and ``v̂ -- û`` with a *virtual edge* whose cost is the
+   best candidate service chain from ``v`` to ``u`` (Procedure 2 k-stroll,
+   setup costs included).
+2. Find a Steiner tree ``T`` in ``Ĝ`` spanning ``{ŝ} ∪ D``.  Lemma 2 bounds
+   its cost by ``3·c(F_OPT)``; the ρST-approximate tree by ``3ρST·c(F_OPT)``.
+3. Deploy the walk behind every selected virtual edge into the forest,
+   resolving VNF conflicts with Procedure 4 (:mod:`repro.core.conflict`).
+4. Add every real edge of ``T ∩ G`` as distribution (tree) edges.
+
+The returned forest is feasibility-checked and lightly pruned (distribution
+edges that serve no destination are dropped -- a pure improvement).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Hashable, List, Tuple
+
+from repro.graph import Graph, steiner_tree
+from repro.core.conflict import ResolutionStats, resolve_and_add_chain
+from repro.core.forest import ServiceOverlayForest
+from repro.core.problem import SOFInstance
+from repro.core.transform import ChainWalk, chain_walk
+from repro.core.validation import check_forest
+
+Node = Hashable
+
+_VSRC = "__sof_virtual_source__"
+
+
+def _src_dup(v: Node) -> Tuple[str, Node]:
+    return ("src^", v)
+
+
+def _vm_dup(u: Node) -> Tuple[str, Node]:
+    return ("vm^", u)
+
+
+@dataclass
+class AuxiliaryGraph:
+    """Procedure 3 output: the Steiner instance plus the walk behind each
+    virtual edge."""
+
+    graph: Graph
+    virtual_source: Node
+    walks: Dict[Tuple[Node, Node], ChainWalk] = field(default_factory=dict)
+
+    def walk_for(self, source: Node, last_vm: Node) -> ChainWalk:
+        """The candidate chain represented by virtual edge ``(v̂, û)``."""
+        return self.walks[(source, last_vm)]
+
+
+def build_auxiliary_graph(
+    instance: SOFInstance,
+    kstroll_method: str = "auto",
+) -> AuxiliaryGraph:
+    """Procedure 3: construct the auxiliary Steiner-tree instance ``Ĝ``."""
+    aux = Graph()
+    for u, v, cost in instance.graph.edges():
+        aux.add_edge(u, v, cost)
+    for node in instance.graph.nodes():
+        aux.add_node(node)
+
+    aux.add_node(_VSRC)
+    walks: Dict[Tuple[Node, Node], ChainWalk] = {}
+    for v in sorted(instance.sources, key=repr):
+        aux.add_edge(_VSRC, _src_dup(v), 0.0)
+    for u in sorted(instance.vms, key=repr):
+        aux.add_edge(u, _vm_dup(u), 0.0)
+    for v in sorted(instance.sources, key=repr):
+        for u in sorted(instance.vms, key=repr):
+            if u == v:
+                continue
+            cw = chain_walk(instance, v, u, kstroll_method=kstroll_method)
+            if cw is None:
+                continue
+            key = (_src_dup(v), _vm_dup(u))
+            existing = walks.get((v, u))
+            if existing is None or cw.total_cost < existing.total_cost:
+                walks[(v, u)] = cw
+                aux.add_edge(key[0], key[1], cw.total_cost)
+    if not walks:
+        raise RuntimeError("no candidate service chain exists for any (source, VM) pair")
+    return AuxiliaryGraph(graph=aux, virtual_source=_VSRC, walks=walks)
+
+
+def _selected_virtual_edges(
+    tree: Graph, instance: SOFInstance
+) -> List[Tuple[Node, Node]]:
+    """Extract the ``(source, last_vm)`` pairs of virtual edges used by ``T``."""
+    pairs = []
+    for a, b, _ in tree.edges():
+        for x, y in ((a, b), (b, a)):
+            if (
+                isinstance(x, tuple) and len(x) == 2 and x[0] == "src^"
+                and isinstance(y, tuple) and len(y) == 2 and y[0] == "vm^"
+            ):
+                pairs.append((x[1], y[1]))
+    return sorted(pairs, key=repr)
+
+
+@dataclass
+class SOFDAResult:
+    """SOFDA output: the forest plus diagnostics used by experiments."""
+
+    forest: ServiceOverlayForest
+    stats: ResolutionStats
+    num_virtual_edges: int
+
+    @property
+    def cost(self) -> float:
+        """Total cost of the embedded forest."""
+        return self.forest.total_cost()
+
+
+def sofda(
+    instance: SOFInstance,
+    steiner_method: str = "kmb",
+    kstroll_method: str = "auto",
+    resolve_conflicts: bool = True,
+    prune: bool = True,
+    validate: bool = True,
+) -> SOFDAResult:
+    """Run SOFDA (Algorithm 2) and return the embedded forest.
+
+    Args:
+        instance: the SOF instance.
+        steiner_method: Steiner solver for the auxiliary instance.
+        kstroll_method: k-stroll solver for candidate chains.
+        resolve_conflicts: when ``False``, conflicting chains go straight to
+            the repair path (the ablation in DESIGN.md §5.3).
+        prune: drop distribution edges that serve no destination.
+        validate: run the feasibility checker on the result.
+    """
+    aux = build_auxiliary_graph(instance, kstroll_method=kstroll_method)
+    terminals = [aux.virtual_source] + sorted(instance.destinations, key=repr)
+    tree = steiner_tree(aux.graph, terminals, method=steiner_method).tree
+
+    forest = ServiceOverlayForest(instance=instance)
+    stats = ResolutionStats()
+
+    # Deploy the chain behind every selected virtual edge.  Cheaper chains
+    # first: they seed the forest that later chains attach to.
+    pairs = _selected_virtual_edges(tree, instance)
+    pairs.sort(key=lambda p: aux.walks[p].total_cost)
+    for v, u in pairs:
+        candidate = aux.walks[(v, u)]
+        if resolve_conflicts:
+            resolve_and_add_chain(forest, candidate, stats)
+        else:
+            chain = candidate.to_deployed_chain()
+            conflicted = any(
+                forest.enabled.get(chain.walk[pos]) not in (None, vnf)
+                for pos, vnf in chain.placements.items()
+            )
+            if conflicted:
+                from repro.core.conflict import _repair_chain
+
+                _repair_chain(forest, candidate, stats)
+            else:
+                forest.add_chain(chain)
+                stats.clean += 1
+
+    # Real edges of T ∩ G become distribution edges.
+    real_nodes = set(instance.graph.nodes())
+    for a, b, _ in tree.edges():
+        if a in real_nodes and b in real_nodes:
+            forest.add_tree_edge(a, b)
+
+    if prune:
+        forest.prune_tree_edges()
+    if validate:
+        check_forest(instance, forest)
+    return SOFDAResult(
+        forest=forest, stats=stats, num_virtual_edges=len(pairs)
+    )

@@ -1,0 +1,167 @@
+"""Feasibility validation for service overlay forests (Section III).
+
+A forest is feasible iff:
+
+1. Every chain walk is a real walk in ``G`` (consecutive nodes adjacent).
+2. Every chain places ``f1..f|C|`` in order on VM nodes along its walk.
+3. No VM runs more than one VNF across the whole forest, and every
+   placement agrees with the forest's ``enabled`` map.
+4. Every chain starts at a source (or is attached to a chain that does).
+5. Every destination is connected -- through the distribution (tree) edges
+   and/or by lying directly on a chain walk *after* its last VNF -- to the
+   hand-off point of a complete chain.
+
+``check_forest`` raises :class:`ForestInfeasible` with a precise message on
+the first violated condition.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, Set
+
+from repro.graph.graph import Graph
+from repro.core.forest import DeployedChain, ServiceOverlayForest
+from repro.core.problem import SOFInstance
+
+Node = Hashable
+
+
+class ForestInfeasible(Exception):
+    """Raised when a service overlay forest violates the SOF constraints."""
+
+
+def _check_chain(instance: SOFInstance, chain: DeployedChain, index: int) -> None:
+    graph = instance.graph
+    walk = chain.walk
+    if not walk:
+        raise ForestInfeasible(f"chain {index}: empty walk")
+    for u, v in zip(walk, walk[1:]):
+        if not graph.has_edge(u, v):
+            raise ForestInfeasible(
+                f"chain {index}: walk step {u!r} -> {v!r} is not an edge of G"
+            )
+    expected = list(range(len(instance.chain)))
+    placed = chain.vnf_positions()
+    if [vnf for _, vnf in placed] != expected:
+        raise ForestInfeasible(
+            f"chain {index}: placements {placed} do not cover "
+            f"f1..f{len(instance.chain)} in order"
+        )
+    positions = [pos for pos, _ in placed]
+    if positions != sorted(set(positions)):
+        raise ForestInfeasible(f"chain {index}: placement positions not increasing")
+    for pos, vnf in placed:
+        if pos < 0 or pos >= len(walk):
+            raise ForestInfeasible(f"chain {index}: placement position {pos} out of range")
+        node = walk[pos]
+        if node not in instance.vms:
+            raise ForestInfeasible(
+                f"chain {index}: VNF f{vnf + 1} placed on non-VM node {node!r}"
+            )
+    if chain.paid_from_edge < 0 or chain.paid_from_edge > max(0, len(walk) - 1):
+        raise ForestInfeasible(
+            f"chain {index}: paid_from_edge {chain.paid_from_edge} out of range"
+        )
+
+
+def _check_enabled(instance: SOFInstance, forest: ServiceOverlayForest) -> None:
+    seen: Dict[Node, int] = {}
+    for i, chain in enumerate(forest.chains):
+        for pos, vnf in chain.placements.items():
+            node = chain.walk[pos]
+            if node in seen and seen[node] != vnf:
+                raise ForestInfeasible(
+                    f"VNF conflict: node {node!r} runs f{seen[node] + 1} and "
+                    f"f{vnf + 1} (chain {i})"
+                )
+            seen[node] = vnf
+            if forest.enabled.get(node) != vnf:
+                raise ForestInfeasible(
+                    f"enabled map out of sync at {node!r}: map says "
+                    f"{forest.enabled.get(node)}, chain {i} places f{vnf + 1}"
+                )
+    for node, vnf in forest.enabled.items():
+        if node not in instance.vms:
+            raise ForestInfeasible(f"non-VM node {node!r} marked enabled")
+        if node not in seen:
+            raise ForestInfeasible(
+                f"enabled map lists {node!r} (f{vnf + 1}) but no chain uses it"
+            )
+
+
+def _check_sources(instance: SOFInstance, forest: ServiceOverlayForest) -> None:
+    for i, chain in enumerate(forest.chains):
+        if chain.source not in instance.sources:
+            raise ForestInfeasible(
+                f"chain {i} starts at {chain.source!r}, which is not a source"
+            )
+
+
+def _delivery_points(forest: ServiceOverlayForest) -> Set[Node]:
+    """Nodes from which fully-processed content is available.
+
+    These are each complete chain's last VM plus every walk node *after*
+    the last VNF placement (data past the last VM is fully processed).
+    """
+    points: Set[Node] = set()
+    for chain in forest.chains:
+        if not chain.placements:
+            continue
+        last_pos = max(chain.placements)
+        points.update(chain.walk[last_pos:])
+    return points
+
+
+def _check_destinations(instance: SOFInstance, forest: ServiceOverlayForest) -> None:
+    points = _delivery_points(forest)
+    if not points:
+        raise ForestInfeasible("forest has no complete chain")
+    # Connectivity through tree edges only.
+    tree = Graph()
+    for u, v in forest.tree_edges:
+        if not instance.graph.has_edge(u, v):
+            raise ForestInfeasible(f"tree edge ({u!r}, {v!r}) is not an edge of G")
+        tree.add_edge(u, v, instance.graph.cost(u, v))
+    for dest in instance.destinations:
+        if dest in points:
+            continue
+        if dest not in tree:
+            raise ForestInfeasible(
+                f"destination {dest!r} is neither on a processed walk segment "
+                f"nor touched by any tree edge"
+            )
+        # BFS within tree edges looking for a delivery point.
+        stack = [dest]
+        component = {dest}
+        served = False
+        while stack and not served:
+            node = stack.pop()
+            if node in points:
+                served = True
+                break
+            for neighbor in tree.neighbors(node):
+                if neighbor not in component:
+                    component.add(neighbor)
+                    stack.append(neighbor)
+        if not served:
+            raise ForestInfeasible(
+                f"destination {dest!r} is not connected to any complete chain"
+            )
+
+
+def check_forest(instance: SOFInstance, forest: ServiceOverlayForest) -> None:
+    """Validate ``forest`` against ``instance``; raise :class:`ForestInfeasible`."""
+    for i, chain in enumerate(forest.chains):
+        _check_chain(instance, chain, i)
+    _check_enabled(instance, forest)
+    _check_sources(instance, forest)
+    _check_destinations(instance, forest)
+
+
+def is_feasible(instance: SOFInstance, forest: ServiceOverlayForest) -> bool:
+    """Boolean wrapper around :func:`check_forest`."""
+    try:
+        check_forest(instance, forest)
+    except ForestInfeasible:
+        return False
+    return True

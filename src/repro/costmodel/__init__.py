@@ -1,0 +1,24 @@
+"""Cost models (Section VII-B).
+
+The paper assigns every link and node a convex piecewise-linear cost in its
+load, following Fortz--Thorup's online traffic-engineering cost [46] (links)
+and the host-utilisation cost of [48] (VMs).  :func:`fortz_thorup_cost`
+reproduces the exact six-segment function printed in the paper (Fig. 7);
+:class:`LoadTracker` maintains per-link/per-node loads for the online
+scenario and converts them to costs.
+"""
+
+from repro.costmodel.fortz_thorup import (
+    FORTZ_THORUP_BREAKPOINTS,
+    fortz_thorup_cost,
+    fortz_thorup_curve,
+)
+from repro.costmodel.loads import LoadTracker, assign_static_costs
+
+__all__ = [
+    "FORTZ_THORUP_BREAKPOINTS",
+    "fortz_thorup_cost",
+    "fortz_thorup_curve",
+    "LoadTracker",
+    "assign_static_costs",
+]

@@ -1,0 +1,59 @@
+"""The Fortz--Thorup convex piecewise-linear load cost (paper Section VII-B).
+
+The paper's exact definition, for current load ``l`` and capacity ``p``::
+
+    c = l                     if l/p <= 1/3,
+        3 l - 2/3 p           if l/p <= 2/3,
+        10 l - 16/3 p         if l/p <= 9/10,
+        70 l - 178/3 p        if l/p <= 1,
+        500 l - 1468/3 p      if l/p <= 11/10,
+        5000 l - 14318/3 p    otherwise.
+
+The function is continuous, convex and increasing; Fig. 7 plots it for
+``p = 1``.  Costs grow mildly until ~2/3 utilisation and explode past
+capacity, which is what steers the online embedder away from congested
+links and overloaded hosts.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+#: ``(utilisation upper bound, slope, intercept coefficient of p)`` per segment.
+FORTZ_THORUP_BREAKPOINTS: List[Tuple[float, float, float]] = [
+    (1.0 / 3.0, 1.0, 0.0),
+    (2.0 / 3.0, 3.0, -2.0 / 3.0),
+    (9.0 / 10.0, 10.0, -16.0 / 3.0),
+    (1.0, 70.0, -178.0 / 3.0),
+    (11.0 / 10.0, 500.0, -1468.0 / 3.0),
+    (float("inf"), 5000.0, -14318.0 / 3.0),
+]
+
+
+def fortz_thorup_cost(load: float, capacity: float = 1.0) -> float:
+    """Evaluate the paper's cost function at load ``load``, capacity ``capacity``."""
+    if capacity <= 0:
+        raise ValueError(f"capacity must be positive (got {capacity})")
+    if load < 0:
+        raise ValueError(f"load must be nonnegative (got {load})")
+    utilisation = load / capacity
+    for bound, slope, intercept in FORTZ_THORUP_BREAKPOINTS:
+        if utilisation <= bound:
+            return slope * load + intercept * capacity
+    raise AssertionError("unreachable: last segment is unbounded")
+
+
+def fortz_thorup_curve(
+    capacity: float = 1.0, max_utilisation: float = 1.2, samples: int = 121
+) -> List[Tuple[float, float]]:
+    """Sample the cost curve -- the data series behind Fig. 7.
+
+    Returns ``[(load, cost), ...]`` with ``samples`` evenly spaced loads in
+    ``[0, max_utilisation * capacity]``.
+    """
+    if samples < 2:
+        raise ValueError("need at least two samples")
+    step = max_utilisation * capacity / (samples - 1)
+    return [
+        (i * step, fortz_thorup_cost(i * step, capacity)) for i in range(samples)
+    ]

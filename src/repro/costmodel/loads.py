@@ -1,0 +1,106 @@
+"""Load bookkeeping and load-to-cost conversion.
+
+Two uses, matching Section VIII-A's two scenarios:
+
+- **One-time deployment**: link usages are drawn uniformly in ``(0, 1)``
+  and converted to edge costs once (:func:`assign_static_costs`).
+- **Online deployment**: usages start at zero and each embedded request
+  adds its demand to every link/VM it uses; costs are re-derived from the
+  updated loads (:class:`LoadTracker`).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, Hashable, Iterable, Tuple
+
+from repro.costmodel.fortz_thorup import fortz_thorup_cost
+from repro.graph.graph import Graph, canonical_edge
+
+Node = Hashable
+Edge = Tuple[Node, Node]
+
+
+def assign_static_costs(
+    graph: Graph,
+    rng: random.Random,
+    capacity: float = 100.0,
+    cost_scale: float = 1.0,
+) -> None:
+    """Draw a usage in ``(0, 1)`` per link and set its Fortz--Thorup cost.
+
+    Mutates ``graph`` in place.  ``capacity`` is the paper's 100 Mbps link
+    bandwidth; ``cost_scale`` rescales the resulting costs (shape-neutral).
+    """
+    for u, v, _ in list(graph.edges()):
+        usage = rng.random()
+        cost = fortz_thorup_cost(usage * capacity, capacity) * cost_scale
+        graph.add_edge(u, v, cost)
+
+
+@dataclass
+class LoadTracker:
+    """Per-link and per-node load state for the online scenario.
+
+    Attributes:
+        link_capacity: capacity of every link (100 Mbps in the paper).
+        node_capacity: capacity of every VM host (request slots).
+        cost_scale: scale factor applied to derived costs.
+    """
+
+    link_capacity: float = 100.0
+    node_capacity: float = 5.0
+    cost_scale: float = 1.0
+    link_load: Dict[Edge, float] = field(default_factory=dict)
+    node_load: Dict[Node, float] = field(default_factory=dict)
+
+    def add_link_load(self, u: Node, v: Node, demand: float) -> None:
+        """Add ``demand`` to link ``{u, v}``."""
+        key = canonical_edge(u, v)
+        self.link_load[key] = self.link_load.get(key, 0.0) + demand
+
+    def add_node_load(self, node: Node, demand: float = 1.0) -> None:
+        """Add ``demand`` to a VM host."""
+        self.node_load[node] = self.node_load.get(node, 0.0) + demand
+
+    def link_utilisation(self, u: Node, v: Node) -> float:
+        """Current load of link {u, v} over its capacity."""
+        return self.link_load.get(canonical_edge(u, v), 0.0) / self.link_capacity
+
+    def node_utilisation(self, node: Node) -> float:
+        """Current load of a VM host over its capacity."""
+        return self.node_load.get(node, 0.0) / self.node_capacity
+
+    def link_cost(self, u: Node, v: Node) -> float:
+        """Fortz--Thorup cost of the link at its current load."""
+        load = self.link_load.get(canonical_edge(u, v), 0.0)
+        return fortz_thorup_cost(load, self.link_capacity) * self.cost_scale
+
+    def node_cost(self, node: Node) -> float:
+        """Fortz--Thorup cost of the VM host at its current load."""
+        load = self.node_load.get(node, 0.0)
+        return fortz_thorup_cost(load, self.node_capacity) * self.cost_scale
+
+    def congested_links(self, threshold: float = 0.9) -> Iterable[Edge]:
+        """Links above ``threshold`` utilisation (Section VII-C case 5)."""
+        return [
+            edge for edge, load in self.link_load.items()
+            if load / self.link_capacity > threshold
+        ]
+
+    def overloaded_nodes(self, threshold: float = 0.9) -> Iterable[Node]:
+        """Hosts above ``threshold`` utilisation (Section VII-C case 6)."""
+        return [
+            node for node, load in self.node_load.items()
+            if load / self.node_capacity > threshold
+        ]
+
+    def apply_to_graph(self, graph: Graph, floor: float = 0.01) -> None:
+        """Write current link costs into ``graph`` (in place).
+
+        ``floor`` keeps zero-load edges from being entirely free, so the
+        embedder still prefers short routes among uncongested links.
+        """
+        for u, v, _ in list(graph.edges()):
+            graph.add_edge(u, v, max(self.link_cost(u, v), floor))

@@ -1,0 +1,37 @@
+"""Distributed SOFDA for multi-controller SDNs (Section VI).
+
+The paper sketches a protocol: every controller abstracts a distance
+matrix between its border routers, exchanges it east--west (SDNi), the
+controllers covering sources build candidate service chains as virtual
+links, a distributed Steiner algorithm spans the virtual source and the
+destinations, and VNF conflicts are eliminated by pairwise controller
+notifications.
+
+This package simulates that protocol faithfully enough to validate its
+key property -- the border-matrix abstraction is *lossless*, so the
+distributed computation reaches exactly the centralized SOFDA forest --
+while accounting every inter-controller message on a
+:class:`~repro.distributed.messages.MessageBus`:
+
+- :func:`~repro.distributed.domains.partition_domains` -- balanced BFS
+  domain partitioning.
+- :class:`~repro.distributed.controller.Controller` -- per-domain state:
+  local topology, border routers, local distance matrices.
+- :class:`~repro.distributed.coordinator.DistributedSOFDA` -- the phased
+  protocol (matrix exchange, chain construction, Steiner, conflict
+  elimination, rule installation) with per-phase message statistics.
+"""
+
+from repro.distributed.domains import partition_domains
+from repro.distributed.messages import Message, MessageBus
+from repro.distributed.controller import Controller
+from repro.distributed.coordinator import DistributedResult, DistributedSOFDA
+
+__all__ = [
+    "partition_domains",
+    "Message",
+    "MessageBus",
+    "Controller",
+    "DistributedResult",
+    "DistributedSOFDA",
+]

@@ -1,0 +1,88 @@
+"""Per-domain SDN controller state.
+
+Each controller sees only its own domain: the induced subgraph, the border
+routers (nodes with an inter-domain link) and the local distance matrix
+between border routers -- the abstraction the paper's Section VI has each
+controller compute "over the Southbound interface within its domain" and
+propagate east--west.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Hashable, List, Set, Tuple
+
+from repro.graph import Graph, dijkstra
+
+Node = Hashable
+INF = float("inf")
+
+
+@dataclass
+class Controller:
+    """One SDN controller and its domain-local knowledge."""
+
+    controller_id: int
+    domain: Set[Node]
+    local_graph: Graph
+    border_routers: List[Node] = field(default_factory=list)
+    _local_dist: Dict[Node, Dict[Node, float]] = field(default_factory=dict, repr=False)
+
+    @classmethod
+    def for_domain(
+        cls, controller_id: int, domain: Set[Node], graph: Graph
+    ) -> "Controller":
+        """Build a controller from the global graph and its domain."""
+        local = graph.subgraph(domain)
+        borders = sorted(
+            (
+                n for n in domain
+                if any(nb not in domain for nb in graph.neighbors(n))
+            ),
+            key=repr,
+        )
+        return cls(
+            controller_id=controller_id,
+            domain=set(domain),
+            local_graph=local,
+            border_routers=borders,
+        )
+
+    # ------------------------------------------------------------------
+    def covers(self, node: Node) -> bool:
+        """Whether this controller's domain contains ``node``."""
+        return node in self.domain
+
+    def local_distances_from(self, node: Node) -> Dict[Node, float]:
+        """Intra-domain shortest-path costs from ``node`` (cached)."""
+        if node not in self._local_dist:
+            dist, _ = dijkstra(self.local_graph, node)
+            self._local_dist[node] = dist
+        return self._local_dist[node]
+
+    def border_matrix(self) -> Dict[Tuple[Node, Node], float]:
+        """The abstracted border-to-border distance matrix.
+
+        This is the payload each controller propagates to its peers
+        ("a matrix that consists of the lengths between every pair of
+        border routers").
+        """
+        matrix: Dict[Tuple[Node, Node], float] = {}
+        for b1 in self.border_routers:
+            dist = self.local_distances_from(b1)
+            for b2 in self.border_routers:
+                if b1 != b2:
+                    matrix[(b1, b2)] = dist.get(b2, INF)
+        return matrix
+
+    def distance_to_borders(self, node: Node) -> Dict[Node, float]:
+        """Intra-domain distances from a covered node to each border router."""
+        if not self.covers(node):
+            raise KeyError(f"{node!r} is outside domain {self.controller_id}")
+        dist = self.local_distances_from(node)
+        return {b: dist.get(b, INF) for b in self.border_routers}
+
+    def matrix_size(self) -> int:
+        """Number of entries in the border matrix (message size)."""
+        n = len(self.border_routers)
+        return n * (n - 1)

@@ -1,0 +1,60 @@
+"""Domain partitioning for multi-controller deployments."""
+
+from __future__ import annotations
+
+import random
+from collections import deque
+from typing import Dict, Hashable, List
+
+from repro.graph import Graph
+
+Node = Hashable
+
+
+def partition_domains(
+    graph: Graph, num_domains: int, seed: int = 0
+) -> List[set]:
+    """Partition the nodes into ``num_domains`` connected, balanced domains.
+
+    Multi-source BFS from randomly chosen seeds: each domain grows one
+    frontier hop per round, claiming unclaimed nodes, which yields
+    connected regions of roughly equal size (the standard approximation of
+    an SDN domain layout).
+    """
+    if num_domains < 1:
+        raise ValueError("need at least one domain")
+    nodes = sorted(graph.nodes(), key=repr)
+    if num_domains > len(nodes):
+        raise ValueError(
+            f"cannot split {len(nodes)} nodes into {num_domains} domains"
+        )
+    rng = random.Random(seed)
+    seeds = rng.sample(nodes, num_domains)
+    owner: Dict[Node, int] = {s: i for i, s in enumerate(seeds)}
+    queues = [deque([s]) for s in seeds]
+    remaining = len(nodes) - num_domains
+    while remaining > 0:
+        progressed = False
+        for i, queue in enumerate(queues):
+            if not queue:
+                continue
+            node = queue.popleft()
+            for neighbor in sorted(graph.neighbors(node), key=repr):
+                if neighbor not in owner:
+                    owner[neighbor] = i
+                    queue.append(neighbor)
+                    remaining -= 1
+                    progressed = True
+            if remaining == 0:
+                break
+        if not progressed:
+            # Disconnected leftovers: assign to the smallest domain.
+            leftover = next(n for n in nodes if n not in owner)
+            sizes = [sum(1 for v in owner.values() if v == i) for i in range(num_domains)]
+            owner[leftover] = sizes.index(min(sizes))
+            queues[owner[leftover]].append(leftover)
+            remaining -= 1
+    domains = [set() for _ in range(num_domains)]
+    for node, i in owner.items():
+        domains[i].add(node)
+    return domains

@@ -1,0 +1,54 @@
+"""East--west message accounting between controllers."""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+
+@dataclass(frozen=True)
+class Message:
+    """One inter-controller message (east--west interface)."""
+
+    sender: int
+    receiver: int
+    kind: str
+    size: int  # abstract payload size (entries, not bytes)
+
+
+@dataclass
+class MessageBus:
+    """Records every message; experiments read the per-phase statistics."""
+
+    log: List[Message] = field(default_factory=list)
+
+    def send(self, sender: int, receiver: int, kind: str, size: int) -> None:
+        """Deliver (record) a message; self-messages are not counted."""
+        if sender == receiver:
+            return
+        self.log.append(Message(sender, receiver, kind, max(0, int(size))))
+
+    def broadcast(self, sender: int, receivers, kind: str, size: int) -> None:
+        """Send the same payload to every other controller."""
+        for r in receivers:
+            self.send(sender, r, kind, size)
+
+    @property
+    def num_messages(self) -> int:
+        """Total messages recorded."""
+        return len(self.log)
+
+    @property
+    def total_size(self) -> int:
+        """Total payload entries across all messages."""
+        return sum(m.size for m in self.log)
+
+    def by_kind(self) -> Dict[str, Tuple[int, int]]:
+        """``{kind: (message count, total size)}``."""
+        counts: Counter = Counter()
+        sizes: Counter = Counter()
+        for m in self.log:
+            counts[m.kind] += 1
+            sizes[m.kind] += m.size
+        return {k: (counts[k], sizes[k]) for k in counts}

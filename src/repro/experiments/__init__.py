@@ -1,0 +1,43 @@
+"""Experiment harness: every table and figure of Section VIII.
+
+- :mod:`~repro.experiments.harness` -- seed-averaged parameter sweeps over
+  any set of algorithms.
+- :mod:`~repro.experiments.figures` -- the data series behind Figs. 7-12.
+- :mod:`~repro.experiments.tables` -- Table I (runtime) and Table II (QoE).
+- :mod:`~repro.experiments.report` -- plain-text rendering in the paper's
+  row/series format.
+"""
+
+from repro.experiments.harness import (
+    ALGORITHMS,
+    SweepResult,
+    default_algorithms,
+    run_sweep,
+)
+from repro.experiments.figures import (
+    fig7_cost_function,
+    fig8_softlayer,
+    fig9_cogent,
+    fig10_inet,
+    fig11_setup_cost,
+    fig12_online,
+)
+from repro.experiments.tables import table1_runtime, table2_qoe
+from repro.experiments.report import render_series, render_table
+
+__all__ = [
+    "ALGORITHMS",
+    "SweepResult",
+    "default_algorithms",
+    "run_sweep",
+    "fig7_cost_function",
+    "fig8_softlayer",
+    "fig9_cogent",
+    "fig10_inet",
+    "fig11_setup_cost",
+    "fig12_online",
+    "table1_runtime",
+    "table2_qoe",
+    "render_series",
+    "render_table",
+]

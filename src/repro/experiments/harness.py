@@ -1,0 +1,140 @@
+"""Seed-averaged parameter sweeps (the skeleton of Figs. 8-11).
+
+Every figure in the evaluation is "total forest cost vs one swept
+parameter, one curve per algorithm, other parameters at their defaults".
+:func:`run_sweep` materialises that directly: for each swept value it
+draws ``seeds`` instances from the topology, runs every algorithm, and
+averages costs.
+"""
+
+from __future__ import annotations
+
+import statistics
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence
+
+from repro.baselines import enemp_baseline, est_baseline, st_baseline
+from repro.core.forest import ServiceOverlayForest
+from repro.core.problem import ServiceChain, SOFInstance
+from repro.core.sofda import sofda
+from repro.topology.network import CloudNetwork
+
+Embedder = Callable[[SOFInstance], ServiceOverlayForest]
+
+#: Paper defaults (Section VIII-A): sources, destinations, VMs, chain length.
+DEFAULTS = {
+    "num_sources": 14,
+    "num_destinations": 6,
+    "num_vms": 25,
+    "chain_length": 3,
+}
+
+#: The sweep grids of Figs. 8-10.
+SWEEPS = {
+    "num_sources": [2, 8, 14, 20, 26],
+    "num_destinations": [2, 4, 6, 8, 10],
+    "num_vms": [5, 15, 25, 35, 45],
+    "chain_length": [3, 4, 5, 6, 7],
+}
+
+
+def default_algorithms(include_ilp: bool = False, ilp_time_limit: float = 120.0) -> Dict[str, Embedder]:
+    """The paper's algorithm set; CPLEX (HiGHS) only on request."""
+    algorithms: Dict[str, Embedder] = {
+        "SOFDA": lambda inst: sofda(inst).forest,
+        "eNEMP": enemp_baseline,
+        "eST": est_baseline,
+        "ST": st_baseline,
+    }
+    if include_ilp:
+        from repro.ilp import solve_sof_ilp
+
+        algorithms["CPLEX"] = lambda inst: solve_sof_ilp(
+            inst, time_limit=ilp_time_limit
+        ).forest
+    return algorithms
+
+
+ALGORITHMS = ("SOFDA", "eNEMP", "eST", "ST")
+
+
+@dataclass
+class SweepResult:
+    """One figure panel: swept values x algorithms -> mean cost."""
+
+    parameter: str
+    values: List[float]
+    mean_cost: Dict[str, List[float]] = field(default_factory=dict)
+    mean_vms_used: Dict[str, List[float]] = field(default_factory=dict)
+    mean_runtime_s: Dict[str, List[float]] = field(default_factory=dict)
+
+    def winner_per_value(self) -> List[str]:
+        """Cheapest algorithm at each swept value."""
+        out = []
+        for i in range(len(self.values)):
+            out.append(
+                min(self.mean_cost, key=lambda name: self.mean_cost[name][i])
+            )
+        return out
+
+
+def run_sweep(
+    network: CloudNetwork,
+    parameter: str,
+    values: Sequence[float],
+    algorithms: Optional[Dict[str, Embedder]] = None,
+    seeds: int = 5,
+    setup_cost_multiplier: float = 1.0,
+    overrides: Optional[Dict[str, int]] = None,
+    link_capacity: float = 1.0,
+    vm_capacity: float = 1.0,
+) -> SweepResult:
+    """Sweep ``parameter`` over ``values`` with everything else at defaults.
+
+    ``overrides`` adjusts the non-swept defaults (e.g. smaller defaults for
+    quick CI benches).  Costs use unit capacities, matching the
+    shape-normalised setting discussed in DESIGN.md.
+    """
+    if parameter not in DEFAULTS:
+        raise ValueError(
+            f"unknown parameter {parameter!r}; choose from {sorted(DEFAULTS)}"
+        )
+    algorithms = algorithms or default_algorithms()
+    result = SweepResult(parameter=parameter, values=list(values))
+    for name in algorithms:
+        result.mean_cost[name] = []
+        result.mean_vms_used[name] = []
+        result.mean_runtime_s[name] = []
+
+    base = dict(DEFAULTS)
+    if overrides:
+        base.update(overrides)
+    for value in values:
+        config = dict(base)
+        config[parameter] = int(value)
+        per_algo_cost: Dict[str, List[float]] = {n: [] for n in algorithms}
+        per_algo_vms: Dict[str, List[float]] = {n: [] for n in algorithms}
+        per_algo_time: Dict[str, List[float]] = {n: [] for n in algorithms}
+        for seed in range(seeds):
+            instance = network.make_instance(
+                num_sources=config["num_sources"],
+                num_destinations=config["num_destinations"],
+                num_vms=config["num_vms"],
+                chain=ServiceChain.of_length(config["chain_length"]),
+                seed=seed * 7919,
+                setup_cost_multiplier=setup_cost_multiplier,
+                link_capacity=link_capacity,
+                vm_capacity=vm_capacity,
+            )
+            for name, embedder in algorithms.items():
+                start = time.perf_counter()
+                forest = embedder(instance)
+                per_algo_time[name].append(time.perf_counter() - start)
+                per_algo_cost[name].append(forest.total_cost())
+                per_algo_vms[name].append(len(forest.used_vms()))
+        for name in algorithms:
+            result.mean_cost[name].append(statistics.mean(per_algo_cost[name]))
+            result.mean_vms_used[name].append(statistics.mean(per_algo_vms[name]))
+            result.mean_runtime_s[name].append(statistics.mean(per_algo_time[name]))
+    return result

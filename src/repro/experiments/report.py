@@ -1,0 +1,47 @@
+"""Plain-text rendering of sweep results and tables."""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+from repro.experiments.harness import SweepResult
+
+
+def render_series(result: SweepResult, title: str = "") -> str:
+    """Render one figure panel as an aligned text table."""
+    lines = []
+    if title:
+        lines.append(title)
+    header = f"{result.parameter:>16s} | " + " | ".join(
+        f"{name:>9s}" for name in result.mean_cost
+    )
+    lines.append(header)
+    lines.append("-" * len(header))
+    for i, value in enumerate(result.values):
+        row = f"{value:>16g} | " + " | ".join(
+            f"{result.mean_cost[name][i]:9.2f}" for name in result.mean_cost
+        )
+        lines.append(row)
+    lines.append(f"{'winner':>16s} | " + " ".join(result.winner_per_value()))
+    return "\n".join(lines)
+
+
+def render_table(
+    rows: Mapping, headers: Sequence[str], title: str = ""
+) -> str:
+    """Render ``{row_key: {col: value}}`` as an aligned text table."""
+    lines = []
+    if title:
+        lines.append(title)
+    header = f"{'':>12s} | " + " | ".join(f"{h:>14s}" for h in headers)
+    lines.append(header)
+    lines.append("-" * len(header))
+    for key, cols in rows.items():
+        cells = []
+        for h in headers:
+            value = cols.get(h, "")
+            cells.append(
+                f"{value:14.3f}" if isinstance(value, float) else f"{value!s:>14s}"
+            )
+        lines.append(f"{key!s:>12s} | " + " | ".join(cells))
+    return "\n".join(lines)

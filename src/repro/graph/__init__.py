@@ -1,0 +1,44 @@
+"""Graph substrate for the SOF reproduction.
+
+This package provides every graph primitive the paper's algorithms rely on,
+implemented from scratch:
+
+- :class:`~repro.graph.graph.Graph` -- an undirected weighted graph type.
+- :mod:`~repro.graph.shortest_paths` -- Dijkstra, path reconstruction and a
+  caching all-pairs distance oracle.
+- :mod:`~repro.graph.dsu` -- disjoint-set union used by Kruskal.
+- :mod:`~repro.graph.mst` -- Prim and Kruskal minimum spanning trees.
+- :mod:`~repro.graph.steiner` -- Steiner-tree solvers (KMB 2-approximation,
+  Mehlhorn's variant and the exact Dreyfus--Wagner dynamic program).
+- :mod:`~repro.graph.kstroll` -- k-stroll solvers (exact subset DP and
+  cheapest-insertion / nearest-extension heuristics) used to find service
+  chains (Definition 2 in the paper).
+"""
+
+from repro.graph.graph import Graph
+from repro.graph.dsu import DisjointSetUnion
+from repro.graph.shortest_paths import (
+    DistanceOracle,
+    dijkstra,
+    shortest_path,
+    walk_cost,
+)
+from repro.graph.mst import kruskal_mst, prim_mst
+from repro.graph.steiner import SteinerResult, metric_closure, steiner_tree
+from repro.graph.kstroll import KStrollInstance, solve_kstroll
+
+__all__ = [
+    "Graph",
+    "DisjointSetUnion",
+    "DistanceOracle",
+    "dijkstra",
+    "shortest_path",
+    "walk_cost",
+    "kruskal_mst",
+    "prim_mst",
+    "SteinerResult",
+    "metric_closure",
+    "steiner_tree",
+    "KStrollInstance",
+    "solve_kstroll",
+]

@@ -1,0 +1,62 @@
+"""Disjoint-set union (union-find) with path compression and union by rank."""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, Iterable
+
+
+class DisjointSetUnion:
+    """Classic union-find over arbitrary hashable elements.
+
+    Elements are added lazily on first use, or eagerly via the constructor.
+    """
+
+    def __init__(self, elements: Iterable[Hashable] = ()) -> None:
+        self._parent: Dict[Hashable, Hashable] = {}
+        self._rank: Dict[Hashable, int] = {}
+        self._num_sets = 0
+        for element in elements:
+            self.add(element)
+
+    def add(self, element: Hashable) -> None:
+        """Register ``element`` as a singleton set (no-op if present)."""
+        if element not in self._parent:
+            self._parent[element] = element
+            self._rank[element] = 0
+            self._num_sets += 1
+
+    def find(self, element: Hashable) -> Hashable:
+        """Return the canonical representative of ``element``'s set."""
+        self.add(element)
+        root = element
+        while self._parent[root] != root:
+            root = self._parent[root]
+        # Path compression.
+        while self._parent[element] != root:
+            self._parent[element], element = root, self._parent[element]
+        return root
+
+    def union(self, a: Hashable, b: Hashable) -> bool:
+        """Merge the sets of ``a`` and ``b``; return True if they were disjoint."""
+        ra, rb = self.find(a), self.find(b)
+        if ra == rb:
+            return False
+        if self._rank[ra] < self._rank[rb]:
+            ra, rb = rb, ra
+        self._parent[rb] = ra
+        if self._rank[ra] == self._rank[rb]:
+            self._rank[ra] += 1
+        self._num_sets -= 1
+        return True
+
+    def connected(self, a: Hashable, b: Hashable) -> bool:
+        """Whether ``a`` and ``b`` are in the same set."""
+        return self.find(a) == self.find(b)
+
+    @property
+    def num_sets(self) -> int:
+        """Number of disjoint sets currently tracked."""
+        return self._num_sets
+
+    def __len__(self) -> int:
+        return len(self._parent)

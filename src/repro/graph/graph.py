@@ -1,0 +1,173 @@
+"""A minimal, explicit undirected weighted graph.
+
+The SOF algorithms need only a handful of graph operations (neighbor
+iteration, edge-cost lookup, node/edge enumeration, subgraphs), so the type
+is deliberately small and dependency-free.  ``networkx`` is used in the test
+suite as an independent cross-check, never in the library itself.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, Iterable, Iterator, Tuple
+
+Node = Hashable
+Edge = Tuple[Node, Node]
+
+
+def canonical_edge(u: Node, v: Node) -> Edge:
+    """Return the canonical (sorted) representation of an undirected edge.
+
+    Node identifiers in one graph are expected to be mutually orderable
+    (ints, strings or tuples of those).  Mixed types fall back to ordering
+    on ``repr`` which is stable within a run.
+    """
+    try:
+        return (u, v) if u <= v else (v, u)  # type: ignore[operator]
+    except TypeError:
+        return (u, v) if repr(u) <= repr(v) else (v, u)
+
+
+class Graph:
+    """Undirected graph with nonnegative edge costs.
+
+    Parallel edges are not supported: adding an existing edge overwrites its
+    cost.  Self-loops are rejected because they never help a minimum-cost
+    walk or tree.
+    """
+
+    def __init__(self) -> None:
+        self._adj: Dict[Node, Dict[Node, float]] = {}
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_edges(cls, edges: Iterable[Tuple[Node, Node, float]]) -> "Graph":
+        """Build a graph from an iterable of ``(u, v, cost)`` triples."""
+        graph = cls()
+        for u, v, cost in edges:
+            graph.add_edge(u, v, cost)
+        return graph
+
+    def add_node(self, node: Node) -> None:
+        """Add an isolated node (no-op if it already exists)."""
+        self._adj.setdefault(node, {})
+
+    def add_edge(self, u: Node, v: Node, cost: float) -> None:
+        """Add the undirected edge ``{u, v}`` with the given nonnegative cost."""
+        if u == v:
+            raise ValueError(f"self-loop on node {u!r} is not allowed")
+        if cost < 0:
+            raise ValueError(f"edge ({u!r}, {v!r}) has negative cost {cost}")
+        self._adj.setdefault(u, {})[v] = float(cost)
+        self._adj.setdefault(v, {})[u] = float(cost)
+
+    def remove_edge(self, u: Node, v: Node) -> None:
+        """Remove the edge ``{u, v}``; raises ``KeyError`` if absent."""
+        del self._adj[u][v]
+        del self._adj[v][u]
+
+    def remove_node(self, node: Node) -> None:
+        """Remove ``node`` and all incident edges."""
+        for neighbor in list(self._adj[node]):
+            del self._adj[neighbor][node]
+        del self._adj[node]
+
+    def copy(self) -> "Graph":
+        """Return a deep copy (nodes, edges and costs)."""
+        clone = Graph()
+        for node, neighbors in self._adj.items():
+            clone._adj[node] = dict(neighbors)
+        return clone
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+    def __contains__(self, node: Node) -> bool:
+        return node in self._adj
+
+    def __len__(self) -> int:
+        return len(self._adj)
+
+    def nodes(self) -> Iterator[Node]:
+        """Iterate over all nodes."""
+        return iter(self._adj)
+
+    def edges(self) -> Iterator[Tuple[Node, Node, float]]:
+        """Iterate over all undirected edges once as ``(u, v, cost)``."""
+        seen = set()
+        for u, neighbors in self._adj.items():
+            for v, cost in neighbors.items():
+                edge = canonical_edge(u, v)
+                if edge not in seen:
+                    seen.add(edge)
+                    yield u, v, cost
+
+    def num_edges(self) -> int:
+        """Number of undirected edges."""
+        return sum(len(nbrs) for nbrs in self._adj.values()) // 2
+
+    def has_edge(self, u: Node, v: Node) -> bool:
+        """Whether the undirected edge ``{u, v}`` exists."""
+        return v in self._adj.get(u, {})
+
+    def cost(self, u: Node, v: Node) -> float:
+        """Cost of edge ``{u, v}``; raises ``KeyError`` if absent."""
+        return self._adj[u][v]
+
+    def neighbors(self, node: Node) -> Iterator[Node]:
+        """Iterate over the neighbors of ``node``."""
+        return iter(self._adj[node])
+
+    def neighbor_items(self, node: Node) -> Iterator[Tuple[Node, float]]:
+        """Iterate over ``(neighbor, edge_cost)`` pairs of ``node``."""
+        return iter(self._adj[node].items())
+
+    def degree(self, node: Node) -> int:
+        """Number of incident edges of ``node``."""
+        return len(self._adj[node])
+
+    # ------------------------------------------------------------------
+    # derived graphs
+    # ------------------------------------------------------------------
+    def subgraph(self, nodes: Iterable[Node]) -> "Graph":
+        """Return the subgraph induced by ``nodes``."""
+        keep = set(nodes)
+        sub = Graph()
+        for node in keep:
+            if node not in self._adj:
+                raise KeyError(f"node {node!r} not in graph")
+            sub.add_node(node)
+        for u, v, cost in self.edges():
+            if u in keep and v in keep:
+                sub.add_edge(u, v, cost)
+        return sub
+
+    def connected_components(self) -> list:
+        """Return connected components as a list of node sets."""
+        remaining = set(self._adj)
+        components = []
+        while remaining:
+            start = next(iter(remaining))
+            stack = [start]
+            component = {start}
+            while stack:
+                node = stack.pop()
+                for neighbor in self._adj[node]:
+                    if neighbor not in component:
+                        component.add(neighbor)
+                        stack.append(neighbor)
+            components.append(component)
+            remaining -= component
+        return components
+
+    def is_connected(self) -> bool:
+        """Whether the graph is connected (empty graphs count as connected)."""
+        return len(self) == 0 or len(self.connected_components()) == 1
+
+    def total_edge_cost(self) -> float:
+        """Sum of all edge costs."""
+        return sum(cost for _, _, cost in self.edges())
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Graph(|V|={len(self)}, |E|={self.num_edges()})"

@@ -1,0 +1,229 @@
+"""k-stroll solvers over metric instances.
+
+Definition 2 of the paper: given a weighted graph and two nodes ``s`` and
+``u``, find the shortest walk from ``s`` to ``u`` visiting at least ``k``
+distinct nodes (including ``s`` and ``u``).  SOFDA only ever solves k-stroll
+on the *metric* instances produced by Procedure 1 (complete graphs whose
+edge costs satisfy the triangle inequality, Lemma 1), where the optimal
+walk can be taken to be a simple path with exactly ``k`` nodes.
+
+The paper cites the Chaudhuri--Godfrey--Rao--Talwar (FOCS'03)
+2-approximation as a black box.  Per DESIGN.md we substitute:
+
+- :func:`solve_kstroll_exact` -- Held--Karp style subset DP, optimal, used
+  whenever the candidate pool is small (the common case: ``|M|+1 <= 15``).
+- :func:`solve_kstroll_insertion` -- cheapest-insertion heuristic (the
+  classic metric path-TSP relaxation).
+- :func:`solve_kstroll_greedy` -- nearest-extension heuristic, used as a
+  second candidate; the dispatcher keeps the better of the two heuristics.
+
+All solvers return a simple path ``s = v1, v2, ..., vk = u`` over distinct
+nodes; by the triangle inequality its cost lower-bounds any longer walk that
+visits the same node set.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Hashable, List, Optional, Sequence, Tuple
+
+Node = Hashable
+INF = float("inf")
+
+#: Largest candidate-pool size for which the exact DP is attempted by the
+#: ``auto`` dispatcher.  2^15 * 15^2 ~ 7.4M relaxations is still snappy.
+EXACT_DP_NODE_LIMIT = 15
+
+
+@dataclass
+class KStrollInstance:
+    """A metric k-stroll instance: endpoints plus a complete cost matrix.
+
+    Attributes:
+        nodes: all candidate nodes (must include ``source`` and ``target``).
+        source: the walk's start node (the chain's source in SOF).
+        target: the walk's end node (the chain's last VM in SOF).
+        cost: either a symmetric nested-dict lookup ``cost[u][v]`` or a
+            callable ``cost(u, v)`` evaluated lazily -- large SOF sweeps use
+            the callable form to avoid materialising |M|^2 matrices per
+            (source, last-VM) pair.
+    """
+
+    nodes: List[Node]
+    source: Node
+    target: Node
+    cost: object
+
+    def __post_init__(self) -> None:
+        if self.source not in self.nodes:
+            raise ValueError("source must be among the instance nodes")
+        if self.target not in self.nodes:
+            raise ValueError("target must be among the instance nodes")
+
+    def edge(self, u: Node, v: Node) -> float:
+        """Cost of the (complete-graph) edge between ``u`` and ``v``."""
+        if callable(self.cost):
+            return self.cost(u, v)
+        return self.cost[u][v]
+
+    def path_cost(self, path: Sequence[Node]) -> float:
+        """Total cost of a path in the instance."""
+        return sum(self.edge(a, b) for a, b in zip(path, path[1:]))
+
+
+def _validate_k(instance: KStrollInstance, k: int) -> List[Node]:
+    """Common argument checks; returns the intermediate candidate pool."""
+    if k < 2:
+        raise ValueError(f"k must be >= 2 (got {k})")
+    if instance.source == instance.target and k > 1:
+        raise ValueError("source and target must differ for k >= 2")
+    pool = [n for n in instance.nodes if n not in (instance.source, instance.target)]
+    if k - 2 > len(pool):
+        raise ValueError(
+            f"cannot visit {k} distinct nodes: only {len(pool) + 2} available"
+        )
+    return pool
+
+
+def solve_kstroll_exact(instance: KStrollInstance, k: int) -> Tuple[List[Node], float]:
+    """Optimal k-stroll path via Held--Karp subset DP.
+
+    ``dp[S][v]`` is the cheapest simple path from the source through the
+    intermediate subset ``S`` ending at ``v`` (``v`` in ``S``); the answer
+    appends the final hop to the target and minimises over ``|S| = k - 2``.
+    Exponential in the candidate-pool size -- guard with
+    :data:`EXACT_DP_NODE_LIMIT`.
+    """
+    pool = _validate_k(instance, k)
+    s, t = instance.source, instance.target
+    need = k - 2
+    if need == 0:
+        return [s, t], instance.edge(s, t)
+
+    n = len(pool)
+    index = {node: i for i, node in enumerate(pool)}
+    # dp maps (mask, last_index) -> cost; parent for reconstruction.
+    dp: List[List[float]] = [[INF] * n for _ in range(1 << n)]
+    parent: Dict[Tuple[int, int], int] = {}
+    for i, node in enumerate(pool):
+        dp[1 << i][i] = instance.edge(s, node)
+
+    best_cost = INF
+    best_state: Optional[Tuple[int, int]] = None
+    for mask in range(1, 1 << n):
+        count = mask.bit_count()
+        if count > need:
+            continue
+        row = dp[mask]
+        for last in range(n):
+            cost = row[last]
+            if cost == INF or not (mask >> last) & 1:
+                continue
+            if count == need:
+                total = cost + instance.edge(pool[last], t)
+                if total < best_cost:
+                    best_cost = total
+                    best_state = (mask, last)
+                continue
+            for nxt in range(n):
+                if (mask >> nxt) & 1:
+                    continue
+                ncost = cost + instance.edge(pool[last], pool[nxt])
+                nmask = mask | (1 << nxt)
+                if ncost < dp[nmask][nxt]:
+                    dp[nmask][nxt] = ncost
+                    parent[(nmask, nxt)] = last
+
+    if best_state is None:
+        raise ValueError("no feasible k-stroll found")
+    mask, last = best_state
+    order = [pool[last]]
+    while mask.bit_count() > 1:
+        prev = parent[(mask, last)]
+        mask ^= 1 << last
+        last = prev
+        order.append(pool[last])
+    order.reverse()
+    path = [s] + order + [t]
+    return path, best_cost
+
+
+def solve_kstroll_insertion(instance: KStrollInstance, k: int) -> Tuple[List[Node], float]:
+    """Cheapest-insertion heuristic.
+
+    Starts from the direct ``s -> t`` edge and repeatedly inserts the
+    candidate node whose best insertion position increases the path cost
+    least, until ``k`` distinct nodes are on the path.  This is the standard
+    metric path-TSP construction; on triangle-inequality instances it is the
+    practical stand-in for the cited 2-approximation.
+    """
+    pool = _validate_k(instance, k)
+    s, t = instance.source, instance.target
+    path = [s, t]
+    remaining = set(pool)
+    while len(path) < k:
+        best_delta = INF
+        best_node: Optional[Node] = None
+        best_pos = -1
+        for node in remaining:
+            for pos in range(len(path) - 1):
+                a, b = path[pos], path[pos + 1]
+                delta = instance.edge(a, node) + instance.edge(node, b) - instance.edge(a, b)
+                if delta < best_delta:
+                    best_delta, best_node, best_pos = delta, node, pos
+        assert best_node is not None
+        path.insert(best_pos + 1, best_node)
+        remaining.discard(best_node)
+    return path, instance.path_cost(path)
+
+
+def solve_kstroll_greedy(instance: KStrollInstance, k: int) -> Tuple[List[Node], float]:
+    """Nearest-extension heuristic.
+
+    Grows the path from the source, always stepping to the cheapest unused
+    candidate, then closes to the target.  Cheap and occasionally better
+    than insertion on strongly clustered instances; the ``auto`` dispatcher
+    keeps the better of the two.
+    """
+    pool = _validate_k(instance, k)
+    s, t = instance.source, instance.target
+    path = [s]
+    remaining = set(pool)
+    while len(path) < k - 1:
+        current = path[-1]
+        nxt = min(remaining, key=lambda node: instance.edge(current, node))
+        path.append(nxt)
+        remaining.discard(nxt)
+    path.append(t)
+    return path, instance.path_cost(path)
+
+
+def solve_kstroll(
+    instance: KStrollInstance,
+    k: int,
+    method: str = "auto",
+) -> Tuple[List[Node], float]:
+    """Solve a metric k-stroll instance.
+
+    Args:
+        instance: the metric instance (Procedure 1 output).
+        k: minimum number of distinct nodes to visit, including endpoints.
+        method: ``exact``, ``insertion``, ``greedy``, or ``auto`` (exact when
+            the pool is small, otherwise the better of the two heuristics).
+
+    Returns:
+        ``(path, cost)`` -- a simple path with exactly ``k`` distinct nodes.
+    """
+    if method == "exact":
+        return solve_kstroll_exact(instance, k)
+    if method == "insertion":
+        return solve_kstroll_insertion(instance, k)
+    if method == "greedy":
+        return solve_kstroll_greedy(instance, k)
+    if method != "auto":
+        raise ValueError(f"unknown k-stroll method {method!r}")
+    if len(instance.nodes) <= EXACT_DP_NODE_LIMIT:
+        return solve_kstroll_exact(instance, k)
+    insertion = solve_kstroll_insertion(instance, k)
+    greedy = solve_kstroll_greedy(instance, k)
+    return insertion if insertion[1] <= greedy[1] else greedy

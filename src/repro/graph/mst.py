@@ -1,0 +1,68 @@
+"""Minimum spanning trees: Kruskal and Prim.
+
+MSTs appear twice in the reproduction: inside the KMB Steiner-tree
+approximation (MST of the metric closure) and as a sanity baseline in the
+test suite.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Hashable, List, Tuple
+
+from repro.graph.dsu import DisjointSetUnion
+from repro.graph.graph import Graph
+
+Node = Hashable
+
+
+def kruskal_mst(graph: Graph) -> Graph:
+    """Minimum spanning forest via Kruskal's algorithm.
+
+    Returns a new :class:`Graph` containing every node of ``graph`` and the
+    MST edges of each connected component.
+    """
+    forest = Graph()
+    for node in graph.nodes():
+        forest.add_node(node)
+    dsu = DisjointSetUnion(graph.nodes())
+    for u, v, cost in sorted(graph.edges(), key=lambda e: e[2]):
+        if dsu.union(u, v):
+            forest.add_edge(u, v, cost)
+    return forest
+
+
+def prim_mst(graph: Graph, root: Node = None) -> Graph:
+    """Minimum spanning tree of the component containing ``root`` via Prim.
+
+    If ``root`` is None an arbitrary node is used.  Only the root's
+    component is spanned; use :func:`kruskal_mst` for a full spanning
+    forest.
+    """
+    tree = Graph()
+    if len(graph) == 0:
+        return tree
+    if root is None:
+        root = next(graph.nodes())
+    tree.add_node(root)
+    visited = {root}
+    heap: List[Tuple[float, int, Node, Node]] = []
+    counter = 0
+
+    def push_edges(node: Node) -> None:
+        """Queue the frontier edges of a newly settled node."""
+        nonlocal counter
+        for neighbor, cost in graph.neighbor_items(node):
+            if neighbor not in visited:
+                heapq.heappush(heap, (cost, counter, node, neighbor))
+                counter += 1
+
+    push_edges(root)
+    while heap:
+        cost, _, u, v = heapq.heappop(heap)
+        if v in visited:
+            continue
+        visited.add(v)
+        tree.add_edge(u, v, cost)
+        push_edges(v)
+    return tree

@@ -1,0 +1,22 @@
+"""Exact Integer Programming formulation of SOF (Section III-A).
+
+The paper solves its IP with CPLEX; this reproduction compiles the same
+formulation -- variables ``γ`` (per-destination VM assignment), ``π``
+(per-destination per-stage arc selection), ``τ`` (per-stage forest arcs)
+and ``σ`` (enabled VMs) with constraints (1)-(8) -- into a sparse MILP and
+solves it with ``scipy.optimize.milp`` (HiGHS), which is exact.
+
+Use :func:`solve_sof_ilp` for the optimum (small/medium instances) and
+:func:`sof_lp_bound` for the LP-relaxation lower bound on larger ones.
+"""
+
+from repro.ilp.model import SOFModel, build_model
+from repro.ilp.solver import ILPSolution, solve_sof_ilp, sof_lp_bound
+
+__all__ = [
+    "SOFModel",
+    "build_model",
+    "ILPSolution",
+    "solve_sof_ilp",
+    "sof_lp_bound",
+]

@@ -1,0 +1,210 @@
+"""MILP compilation of the SOF Integer Program.
+
+Variable semantics (Section III-A), with ``L = |C|`` and 0-based function
+indices; the pseudo-functions are ``f_S = -1`` (the source stage) and
+``f_D = L`` (the destination, a constant, never a variable):
+
+- ``γ[d, f, u]``: node ``u`` is the enabled VM for function ``f`` on the
+  walk to destination ``d`` (``f = -1``: ``u`` ranges over sources).
+- ``π[d, f, (u, v)]``: directed arc ``(u, v)`` lies on the stage-``f``
+  sub-walk of ``d`` (from the VM of ``f`` to the VM of the next function).
+- ``τ[f, (u, v)]``: arc ``(u, v)`` is in the stage-``f`` part of the forest.
+- ``σ[f, u]``: VM ``u`` is enabled with function ``f`` forest-wide.
+
+Constraints (1)-(8) are reproduced one-to-one; see the builder's inline
+comments.  One deliberate correction: the printed objective sums ``τ`` over
+``f ∈ C`` only, which would make every source→f1 edge free and degenerate
+the problem -- we sum over ``f ∈ C ∪ {f_S}``, which is clearly the intent
+(the IP's own constraint (7)/(8) define those arcs).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Hashable, List, Sequence, Tuple
+
+import numpy as np
+from scipy import sparse
+
+from repro.core.problem import SOFInstance
+
+Node = Hashable
+Arc = Tuple[Node, Node]
+
+
+@dataclass
+class SOFModel:
+    """A compiled MILP: ``min c·x  s.t.  lb <= A x <= ub,  x binary``."""
+
+    instance: SOFInstance
+    objective: np.ndarray
+    matrix: sparse.csr_matrix
+    lower: np.ndarray
+    upper: np.ndarray
+    gamma_index: Dict[Tuple[Node, int, Node], int]
+    pi_index: Dict[Tuple[Node, int, Arc], int]
+    tau_index: Dict[Tuple[int, Arc], int]
+    sigma_index: Dict[Tuple[int, Node], int]
+
+    @property
+    def num_variables(self) -> int:
+        """Number of binary variables in the compiled program."""
+        return self.objective.shape[0]
+
+    @property
+    def num_constraints(self) -> int:
+        """Number of constraint rows in the compiled program."""
+        return self.matrix.shape[0]
+
+
+def _arcs_of(instance: SOFInstance) -> List[Arc]:
+    arcs: List[Arc] = []
+    for u, v, _ in instance.graph.edges():
+        arcs.append((u, v))
+        arcs.append((v, u))
+    return arcs
+
+
+def build_model(instance: SOFInstance) -> SOFModel:
+    """Compile ``instance`` into a sparse binary program."""
+    L = len(instance.chain)
+    destinations = sorted(instance.destinations, key=repr)
+    sources = sorted(instance.sources, key=repr)
+    vms = sorted(instance.vms, key=repr)
+    nodes = sorted(instance.graph.nodes(), key=repr)
+    arcs = _arcs_of(instance)
+    out_arcs: Dict[Node, List[Arc]] = {n: [] for n in nodes}
+    in_arcs: Dict[Node, List[Arc]] = {n: [] for n in nodes}
+    for arc in arcs:
+        out_arcs[arc[0]].append(arc)
+        in_arcs[arc[1]].append(arc)
+    stages = [-1] + list(range(L))  # f_S plus f1..fL
+
+    # ------------------------------------------------------------------
+    # variable indexing
+    # ------------------------------------------------------------------
+    gamma_index: Dict[Tuple[Node, int, Node], int] = {}
+    pi_index: Dict[Tuple[Node, int, Arc], int] = {}
+    tau_index: Dict[Tuple[int, Arc], int] = {}
+    sigma_index: Dict[Tuple[int, Node], int] = {}
+    counter = 0
+
+    def new_var() -> int:
+        """Allocate the next variable index."""
+        nonlocal counter
+        counter += 1
+        return counter - 1
+
+    for d in destinations:
+        for s in sources:
+            gamma_index[(d, -1, s)] = new_var()
+        for f in range(L):
+            for u in vms:
+                gamma_index[(d, f, u)] = new_var()
+    for d in destinations:
+        for f in stages:
+            for arc in arcs:
+                pi_index[(d, f, arc)] = new_var()
+    for f in stages:
+        for arc in arcs:
+            tau_index[(f, arc)] = new_var()
+    for f in range(L):
+        for u in vms:
+            sigma_index[(f, u)] = new_var()
+
+    num_vars = counter
+    objective = np.zeros(num_vars)
+    for (f, arc), idx in tau_index.items():
+        objective[idx] = instance.graph.cost(*arc)
+    for (f, u), idx in sigma_index.items():
+        objective[idx] = instance.setup_cost(u)
+
+    rows: List[int] = []
+    cols: List[int] = []
+    vals: List[float] = []
+    lower: List[float] = []
+    upper: List[float] = []
+    row = 0
+
+    def add_row(entries: Sequence[Tuple[int, float]], lb: float, ub: float) -> None:
+        """Append one constraint row (sparse entries, lb <= row <= ub)."""
+        nonlocal row
+        for col, val in entries:
+            rows.append(row)
+            cols.append(col)
+            vals.append(val)
+        lower.append(lb)
+        upper.append(ub)
+        row += 1
+
+    INF = np.inf
+
+    # (1) each destination picks exactly one source.
+    for d in destinations:
+        add_row([(gamma_index[(d, -1, s)], 1.0) for s in sources], 1.0, 1.0)
+    # (2) each destination picks exactly one VM per function.
+    for d in destinations:
+        for f in range(L):
+            add_row([(gamma_index[(d, f, u)], 1.0) for u in vms], 1.0, 1.0)
+    # (3)/(4) are constants: γ[d, f_D, u] = [u == d]; folded into (7).
+
+    # (5) a VM picked by any destination is enabled forest-wide.
+    for d in destinations:
+        for f in range(L):
+            for u in vms:
+                add_row(
+                    [(gamma_index[(d, f, u)], 1.0), (sigma_index[(f, u)], -1.0)],
+                    -INF, 0.0,
+                )
+    # (6) at most one VNF per VM.
+    for u in vms:
+        add_row([(sigma_index[(f, u)], 1.0) for f in range(L)], -INF, 1.0)
+
+    # (7) stage-wise walk construction:
+    #     Σ_out π - Σ_in π >= γ[d,f,u] - γ[d,fN,u]   for all d, f, u.
+    for d in destinations:
+        for f in stages:
+            next_f = f + 1  # -1 -> f1, ..., L-1 -> f_D
+            for u in nodes:
+                entries: List[Tuple[int, float]] = []
+                for arc in out_arcs[u]:
+                    entries.append((pi_index[(d, f, arc)], 1.0))
+                for arc in in_arcs[u]:
+                    entries.append((pi_index[(d, f, arc)], -1.0))
+                lb = 0.0
+                key_f = (d, f, u)
+                if key_f in gamma_index:
+                    entries.append((gamma_index[key_f], -1.0))
+                if next_f == L:
+                    # γ[d, f_D, u] is the constant [u == d].
+                    if u == d:
+                        lb = -1.0
+                else:
+                    key_n = (d, next_f, u)
+                    if key_n in gamma_index:
+                        entries.append((gamma_index[key_n], 1.0))
+                add_row(entries, lb, INF)
+
+    # (8) per-destination arcs imply forest arcs.
+    for d in destinations:
+        for f in stages:
+            for arc in arcs:
+                add_row(
+                    [(pi_index[(d, f, arc)], 1.0), (tau_index[(f, arc)], -1.0)],
+                    -INF, 0.0,
+                )
+
+    matrix = sparse.csr_matrix(
+        (vals, (rows, cols)), shape=(row, num_vars)
+    )
+    return SOFModel(
+        instance=instance,
+        objective=objective,
+        matrix=matrix,
+        lower=np.array(lower),
+        upper=np.array(upper),
+        gamma_index=gamma_index,
+        pi_index=pi_index,
+        tau_index=tau_index,
+        sigma_index=sigma_index,
+    )

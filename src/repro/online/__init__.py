@@ -1,0 +1,25 @@
+"""Online deployment scenario (Sections VII-B and VIII-C, Fig. 12).
+
+Requests arrive sequentially; every embedded forest adds its demand to the
+links and hosts it uses, the Fortz--Thorup costs are re-derived from the
+updated loads, and the next request is embedded against the new costs.
+The metric is the *accumulative cost*: the sum of the embedding-time costs
+of all forests so far (the paper's Fig. 12 y-axis).
+"""
+
+from repro.online.requests import Request, RequestGenerator
+from repro.online.rerouting import (
+    congested_forest_links,
+    reroute_forest_around_congestion,
+)
+from repro.online.simulator import OnlineResult, OnlineSimulator, run_online_comparison
+
+__all__ = [
+    "Request",
+    "RequestGenerator",
+    "OnlineResult",
+    "OnlineSimulator",
+    "run_online_comparison",
+    "congested_forest_links",
+    "reroute_forest_around_congestion",
+]

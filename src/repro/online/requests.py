@@ -1,0 +1,99 @@
+"""Multicast request generation for the online scenario.
+
+Section VIII-A: "the numbers of destinations and candidate sources in the
+request are randomly chosen from 13 to 17 and 8 to 12 in Softlayer, and
+from 20 to 60 and from 10 to 30 in Cogent"; every request demands 3
+services and 5 Mbps.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Hashable, List, Tuple
+
+from repro.core.problem import ServiceChain
+from repro.topology.network import CloudNetwork
+
+Node = Hashable
+
+#: Paper presets: (destinations range, sources range) per topology name.
+PAPER_REQUEST_RANGES = {
+    "softlayer": ((13, 17), (8, 12)),
+    "cogent": ((20, 60), (10, 30)),
+}
+
+
+@dataclass(frozen=True)
+class Request:
+    """One multicast service request."""
+
+    index: int
+    sources: Tuple[Node, ...]
+    destinations: Tuple[Node, ...]
+    chain: ServiceChain
+    demand_mbps: float = 5.0
+
+
+class RequestGenerator:
+    """Seeded stream of requests over a topology.
+
+    The same seed yields the same request sequence, so competing
+    algorithms can be replayed against identical workloads.
+    """
+
+    def __init__(
+        self,
+        network: CloudNetwork,
+        seed: int = 0,
+        destinations_range: Tuple[int, int] = None,
+        sources_range: Tuple[int, int] = None,
+        chain_length: int = 3,
+        demand_mbps: float = 5.0,
+    ) -> None:
+        preset = PAPER_REQUEST_RANGES.get(network.name)
+        if destinations_range is None:
+            destinations_range = preset[0] if preset else (2, 6)
+        if sources_range is None:
+            sources_range = preset[1] if preset else (2, 4)
+        if max(destinations_range[1], sources_range[1]) > network.num_nodes:
+            raise ValueError(
+                f"request ranges exceed the {network.num_nodes}-node topology"
+            )
+        self._network = network
+        self._rng = random.Random(seed)
+        self._destinations_range = destinations_range
+        self._sources_range = sources_range
+        self._chain = ServiceChain.of_length(chain_length)
+        self._demand = demand_mbps
+        self._count = 0
+
+    def next_request(self) -> Request:
+        """Draw the next request."""
+        rng = self._rng
+        num_d = rng.randint(*self._destinations_range)
+        num_s = rng.randint(*self._sources_range)
+        nodes = self._network.access_nodes()
+        # Keep S and D disjoint when the topology allows it (the paper's
+        # SoftLayer ranges can exceed 27 nodes combined, in which case the
+        # sets are drawn independently).
+        if num_d + num_s <= len(nodes):
+            picks = rng.sample(nodes, num_d + num_s)
+            sources = tuple(picks[:num_s])
+            destinations = tuple(picks[num_s:])
+        else:
+            sources = tuple(rng.sample(nodes, num_s))
+            destinations = tuple(rng.sample(nodes, num_d))
+        request = Request(
+            index=self._count,
+            sources=sources,
+            destinations=destinations,
+            chain=self._chain,
+            demand_mbps=self._demand,
+        )
+        self._count += 1
+        return request
+
+    def take(self, count: int) -> List[Request]:
+        """Draw ``count`` requests."""
+        return [self.next_request() for _ in range(count)]

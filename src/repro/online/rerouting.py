@@ -1,0 +1,71 @@
+"""Online congestion rerouting (Section VII-B, last paragraph).
+
+"When a node or link becomes congested, SOFDA reroutes the service forest
+by letting the users downstream to the above node or link re-join the
+forest again, where the current path in the forest is removed only after
+the new join path is created to avoid service interruption."
+
+:func:`reroute_forest_around_congestion` applies exactly that make-before-
+break repair to an embedded forest: congested links get their updated
+(exploded) cost, affected chain segments and distribution paths are
+re-connected through the now-cheapest routes, and the old paths are
+dropped afterwards.  It wraps the Section VII-C primitives
+(:func:`repro.core.dynamic.reroute_congested_link`).
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, List, Tuple
+
+from repro.core.dynamic import reroute_congested_link
+from repro.core.forest import ServiceOverlayForest
+from repro.core.problem import SOFInstance
+from repro.costmodel import LoadTracker
+
+Node = Hashable
+
+
+def congested_forest_links(
+    forest: ServiceOverlayForest,
+    tracker: LoadTracker,
+    threshold: float = 0.9,
+) -> List[Tuple[Node, Node]]:
+    """Links of the forest whose utilisation exceeds ``threshold``."""
+    used = set(forest.tree_edges)
+    for chain in forest.chains:
+        for a, b in chain.all_edges():
+            from repro.graph.graph import canonical_edge
+
+            used.add(canonical_edge(a, b))
+    hot = set(tracker.congested_links(threshold))
+    return sorted(used & hot, key=repr)
+
+
+def reroute_forest_around_congestion(
+    forest: ServiceOverlayForest,
+    tracker: LoadTracker,
+    threshold: float = 0.9,
+    max_links: int = 5,
+) -> Tuple[SOFInstance, ServiceOverlayForest, int]:
+    """Make-before-break reroute of every congested link the forest uses.
+
+    Returns ``(instance, forest, links_rerouted)``; the instance carries
+    the updated link costs.  Congested links are processed worst-first and
+    at most ``max_links`` per invocation (the controller batches repairs,
+    as the paper's adaptive-routing references do).
+    """
+    instance = forest.instance
+    current = forest
+    rerouted = 0
+    hot = congested_forest_links(current, tracker, threshold)
+    hot.sort(key=lambda e: -tracker.link_utilisation(*e))
+    for link in hot[:max_links]:
+        new_cost = tracker.link_cost(*link)
+        try:
+            instance, current = reroute_congested_link(current, link, new_cost)
+        except Exception:
+            # A link with no alternative stays in place; its cost update
+            # still steers future requests away.
+            continue
+        rerouted += 1
+    return instance, current, rerouted

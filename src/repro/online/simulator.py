@@ -1,0 +1,157 @@
+"""The online embedding loop (Fig. 12).
+
+Each algorithm runs in its own :class:`OnlineSimulator`, which owns a
+topology copy with 5 VMs per data center (the paper's online setup), a
+:class:`~repro.costmodel.LoadTracker`, and the accumulative cost series.
+Replaying the same :class:`~repro.online.requests.Request` list into
+several simulators compares algorithms on identical workloads.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Hashable, List, Optional, Sequence
+
+from repro.core.forest import ServiceOverlayForest
+from repro.core.problem import SOFInstance
+from repro.costmodel import LoadTracker
+from repro.online.requests import Request
+from repro.topology.network import CloudNetwork
+
+Node = Hashable
+
+#: An embedding algorithm: SOFInstance -> ServiceOverlayForest.
+Embedder = Callable[[SOFInstance], ServiceOverlayForest]
+
+
+@dataclass
+class OnlineResult:
+    """Per-algorithm outcome of an online run."""
+
+    name: str
+    per_request_cost: List[float] = field(default_factory=list)
+    accumulative_cost: List[float] = field(default_factory=list)
+    rejected: int = 0
+
+    @property
+    def total_cost(self) -> float:
+        """Final accumulative cost of the run."""
+        return self.accumulative_cost[-1] if self.accumulative_cost else 0.0
+
+
+class OnlineSimulator:
+    """Stateful online embedder for one algorithm over one topology."""
+
+    def __init__(
+        self,
+        network: CloudNetwork,
+        vms_per_datacenter: int = 5,
+        link_capacity: float = 100.0,
+        vm_capacity: float = 5.0,
+        cost_floor: float = 0.01,
+    ) -> None:
+        self._network = network
+        self._tracker = LoadTracker(
+            link_capacity=link_capacity, node_capacity=vm_capacity
+        )
+        self._cost_floor = cost_floor
+
+        # Build the working graph once: access topology + fixed VM pool.
+        graph = network.graph.copy()
+        self._vms: List[Node] = []
+        hosts = network.datacenters or network.access_nodes()
+        for dc_index, dc in enumerate(hosts):
+            for k in range(vms_per_datacenter):
+                vm = ("vm", dc_index, k)
+                graph.add_node(vm)
+                graph.add_edge(vm, dc, cost_floor)
+                self._vms.append(vm)
+        self._graph = graph
+
+    @property
+    def tracker(self) -> LoadTracker:
+        """The simulator's load state."""
+        return self._tracker
+
+    @property
+    def vms(self) -> List[Node]:
+        """The fixed VM pool (copies)."""
+        return list(self._vms)
+
+    def current_instance(self, request: Request) -> SOFInstance:
+        """Materialise the SOF instance for ``request`` at current loads."""
+        work = self._graph.copy()
+        self._tracker.apply_to_graph(work, floor=self._cost_floor)
+        node_costs = {vm: self._tracker.node_cost(vm) for vm in self._vms}
+        return SOFInstance(
+            graph=work,
+            vms=self._vms,
+            sources=request.sources,
+            destinations=request.destinations,
+            chain=request.chain,
+            node_costs=node_costs,
+        )
+
+    def commit(self, forest: ServiceOverlayForest, request: Request) -> None:
+        """Account the embedded forest's bandwidth and host load."""
+        num_functions = len(request.chain)
+        seen = set()
+        for chain in forest.chains:
+            stage = 0
+            for i in range(len(chain.walk) - 1):
+                if i in chain.placements:
+                    stage = chain.placements[i] + 1
+                key = (stage, chain.walk[i], chain.walk[i + 1])
+                if key in seen:
+                    continue
+                seen.add(key)
+                self._tracker.add_link_load(
+                    chain.walk[i], chain.walk[i + 1], request.demand_mbps
+                )
+        for u, v in forest.tree_edges:
+            if (num_functions, u, v) in seen or (num_functions, v, u) in seen:
+                continue
+            self._tracker.add_link_load(u, v, request.demand_mbps)
+        for vm in forest.enabled:
+            self._tracker.add_node_load(vm, 1.0)
+
+    def embed(self, request: Request, embedder: Embedder) -> Optional[float]:
+        """Embed one request; returns its cost, or ``None`` on rejection."""
+        instance = self.current_instance(request)
+        try:
+            forest = embedder(instance)
+        except Exception:
+            return None
+        cost = forest.total_cost()
+        self.commit(forest, request)
+        return cost
+
+
+def run_online_comparison(
+    network_factory: Callable[[], CloudNetwork],
+    embedders: Dict[str, Embedder],
+    requests: Sequence[Request],
+    vms_per_datacenter: int = 5,
+) -> Dict[str, OnlineResult]:
+    """Replay one request sequence through every algorithm (Fig. 12).
+
+    Each algorithm gets a fresh simulator over an identical topology, so
+    load state never leaks between competitors.
+    """
+    results: Dict[str, OnlineResult] = {}
+    for name, embedder in embedders.items():
+        simulator = OnlineSimulator(
+            network_factory(), vms_per_datacenter=vms_per_datacenter
+        )
+        result = OnlineResult(name=name)
+        total = 0.0
+        for request in requests:
+            cost = simulator.embed(request, embedder)
+            if cost is None:
+                result.rejected += 1
+                cost = 0.0
+            total += cost
+            result.per_request_cost.append(cost)
+            result.accumulative_cost.append(total)
+        results[name] = result
+    return results

@@ -1,0 +1,33 @@
+"""Experimental-SDN testbed simulator (Section VIII-D, Fig. 13, Table II).
+
+The paper's physical testbed (HP OpenFlow switches, OpenDaylight,
+FFmpeg transcoder + watermarker VNFs, VLC playback of a 137 s / 8 Mbps
+YouTube stream over links with 4.5--9 Mbps available bandwidth) is
+replaced by a flow-level simulation -- see DESIGN.md's substitution table:
+
+- :func:`~repro.testbed.topology.fig13_topology` -- a 14-node / 20-link
+  topology with the paper's shape.
+- :class:`~repro.testbed.flowsim.FlowSimulator` -- per-second available
+  bandwidth per link; multicast streams consume one share per distinct
+  (stage, link) use; a destination's goodput is the min along its path.
+- :class:`~repro.testbed.video.VideoSession` -- leaky-bucket playback
+  buffer producing the two QoE metrics: startup latency and total
+  re-buffering time.
+- :func:`~repro.testbed.experiment.run_qoe_experiment` -- embeds the
+  video service with each algorithm and simulates playback (Table II).
+"""
+
+from repro.testbed.topology import fig13_topology
+from repro.testbed.flowsim import FlowSimulator, destination_paths
+from repro.testbed.video import VideoSession, VideoSpec
+from repro.testbed.experiment import QoEReport, run_qoe_experiment
+
+__all__ = [
+    "fig13_topology",
+    "FlowSimulator",
+    "destination_paths",
+    "VideoSession",
+    "VideoSpec",
+    "QoEReport",
+    "run_qoe_experiment",
+]

@@ -1,0 +1,99 @@
+"""Video playback buffer model producing the Table II QoE metrics.
+
+The paper streams a 137-second full-HD H.264 video at an average 8 Mbps
+through the embedded VNFs and measures, with VLC at each destination:
+
+- **startup latency** -- time until playback first starts;
+- **re-buffering time** -- total time playback is stalled waiting for data.
+
+The standard leaky-bucket model reproduces both: downloaded seconds of
+content accumulate at ``goodput / bitrate`` per wall-clock second;
+playback starts once ``startup_buffer`` seconds are buffered and consumes
+one content-second per second; an empty buffer stalls playback until it
+refills to ``rebuffer_threshold``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+
+@dataclass(frozen=True)
+class VideoSpec:
+    """The test stream's parameters (paper defaults)."""
+
+    duration_s: float = 137.0
+    bitrate_mbps: float = 8.0
+    startup_buffer_s: float = 2.0
+    rebuffer_threshold_s: float = 1.0
+
+
+@dataclass
+class VideoSession:
+    """One destination's playback state machine."""
+
+    spec: VideoSpec = VideoSpec()
+
+    def __post_init__(self) -> None:
+        self.buffered_s = 0.0      # seconds of content downloaded, unplayed
+        self.downloaded_s = 0.0    # total content seconds downloaded
+        self.played_s = 0.0        # content seconds played out
+        self.clock_s = 0.0         # wall-clock time
+        self.startup_latency: Optional[float] = None
+        self.rebuffering_s = 0.0
+        self._stalled = False
+
+    @property
+    def finished(self) -> bool:
+        """Whether the full video has been played out."""
+        return self.played_s >= self.spec.duration_s - 1e-9
+
+    def advance(self, goodput_mbps: float, dt: float = 1.0) -> None:
+        """Advance the session ``dt`` wall-clock seconds at ``goodput_mbps``."""
+        if self.finished:
+            return
+        spec = self.spec
+        self.clock_s += dt
+        # Download.
+        if self.downloaded_s < spec.duration_s:
+            gained = goodput_mbps / spec.bitrate_mbps * dt
+            gained = min(gained, spec.duration_s - self.downloaded_s)
+            self.downloaded_s += gained
+            self.buffered_s += gained
+
+        if self.startup_latency is None:
+            # Pre-startup: waiting for the initial buffer.
+            if (
+                self.buffered_s >= spec.startup_buffer_s
+                or self.downloaded_s >= spec.duration_s
+            ):
+                self.startup_latency = self.clock_s
+            return
+
+        if self._stalled:
+            self.rebuffering_s += dt
+            if (
+                self.buffered_s >= spec.rebuffer_threshold_s
+                or self.downloaded_s >= spec.duration_s
+            ):
+                self._stalled = False
+            return
+
+        # Playing: consume up to dt seconds of content.
+        play = min(dt, self.buffered_s, spec.duration_s - self.played_s)
+        self.played_s += play
+        self.buffered_s -= play
+        if play < dt - 1e-12 and not self.finished:
+            # Ran dry mid-step: the remainder of the step is a stall.
+            stall = dt - play
+            self.rebuffering_s += stall
+            self._stalled = self.downloaded_s < self.spec.duration_s
+
+    def run_to_completion(self, goodput_iter, max_steps: int = 100000) -> None:
+        """Drive the session with per-second goodput values until done."""
+        for _ in range(max_steps):
+            if self.finished:
+                return
+            self.advance(next(goodput_iter))
+        raise RuntimeError("video session did not finish within max_steps")

@@ -1,0 +1,41 @@
+"""Network topologies for the evaluation (Section VIII-A).
+
+The paper evaluates on two inter-data-center maps and one synthetic
+topology:
+
+- **IBM SoftLayer**: 27 access nodes, 49 links, 17 data centers.
+- **Cogent**: 190 access nodes, 260 links, 40 data centers.
+- **Inet synthetic**: 5000 access nodes, 10000 links, 2000 data centers.
+
+The real maps are not redistributable, so :func:`softlayer_network` and
+:func:`cogent_network` generate geographic-style topologies with exactly
+the paper's node/link/data-center counts (see DESIGN.md's substitution
+table); :func:`inet_network` reproduces Inet's heavy-tailed degree
+distribution via preferential attachment at any requested scale.
+
+Every generator returns a :class:`CloudNetwork`, whose
+:meth:`~CloudNetwork.make_instance` attaches VMs to random data centers,
+draws link/node costs from the Section VII-B cost model and samples
+sources/destinations -- i.e. produces ready-to-solve
+:class:`~repro.core.problem.SOFInstance` objects with the paper's defaults.
+"""
+
+from repro.topology.network import CloudNetwork
+from repro.topology.generators import (
+    cogent_network,
+    erdos_renyi_network,
+    geographic_network,
+    inet_network,
+    softlayer_network,
+    waxman_network,
+)
+
+__all__ = [
+    "CloudNetwork",
+    "softlayer_network",
+    "cogent_network",
+    "inet_network",
+    "geographic_network",
+    "waxman_network",
+    "erdos_renyi_network",
+]

@@ -1,0 +1,48 @@
+"""Shared test helpers (importable: pytest's conftest is not)."""
+
+from __future__ import annotations
+
+import random
+
+from repro import Graph, ServiceChain, SOFInstance
+
+
+def random_connected_graph(rng: random.Random, n: int, extra_edges: int,
+                           max_cost: float = 10.0) -> Graph:
+    """Random connected graph: a random spanning tree plus extra edges."""
+    graph = Graph()
+    nodes = list(range(n))
+    for i in range(1, n):
+        j = rng.randrange(i)
+        graph.add_edge(nodes[i], nodes[j], rng.uniform(1.0, max_cost))
+    added = 0
+    attempts = 0
+    while added < extra_edges and attempts < extra_edges * 20:
+        attempts += 1
+        u, v = rng.sample(nodes, 2)
+        if not graph.has_edge(u, v):
+            graph.add_edge(u, v, rng.uniform(1.0, max_cost))
+            added += 1
+    return graph
+
+
+def random_instance(seed: int, n: int = 14, num_vms: int = 6,
+                    num_sources: int = 2, num_dests: int = 3,
+                    chain_len: int = 2) -> SOFInstance:
+    """A random but always-valid SOF instance for property tests."""
+    rng = random.Random(seed)
+    graph = random_connected_graph(rng, n, extra_edges=n // 2)
+    nodes = list(range(n))
+    rng.shuffle(nodes)
+    vms = nodes[:num_vms]
+    rest = nodes[num_vms:]
+    sources = rest[:num_sources]
+    dests = rest[num_sources:num_sources + num_dests]
+    return SOFInstance(
+        graph=graph,
+        vms=vms,
+        sources=sources,
+        destinations=dests,
+        chain=ServiceChain.of_length(chain_len),
+        node_costs={vm: rng.uniform(0.5, 20.0) for vm in vms},
+    )

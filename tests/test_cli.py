@@ -1,0 +1,57 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+def test_parser_requires_command():
+    parser = build_parser()
+    with pytest.raises(SystemExit):
+        parser.parse_args([])
+
+
+def test_solve_small(capsys):
+    assert main([
+        "solve", "--topology", "softlayer", "--sources", "3",
+        "--destinations", "3", "--vms", "8", "--chain", "2", "--seed", "4",
+    ]) == 0
+    out = capsys.readouterr().out
+    for name in ("SOFDA", "eNEMP", "eST", "ST"):
+        assert name in out
+    assert "cost=" in out
+
+
+def test_solve_with_ilp_and_verbose(capsys):
+    assert main([
+        "solve", "--sources", "2", "--destinations", "2", "--vms", "6",
+        "--chain", "2", "--ilp", "--verbose",
+    ]) == 0
+    out = capsys.readouterr().out
+    assert "CPLEX" in out
+    assert "chain 0" in out
+
+
+def test_fig7(capsys):
+    assert main(["fig7", "--samples", "7"]) == 0
+    lines = capsys.readouterr().out.strip().splitlines()
+    assert len(lines) == 7
+    assert lines[0].split()[0] == "0.0000"
+
+
+def test_fig12(capsys):
+    assert main(["fig12", "--requests", "2"]) == 0
+    out = capsys.readouterr().out
+    assert "SOFDA" in out and "ST" in out
+
+
+def test_table2(capsys):
+    assert main(["table2", "--trials", "2"]) == 0
+    out = capsys.readouterr().out
+    assert "startup(s)" in out and "SOFDA" in out
+
+
+def test_table1_tiny(capsys):
+    assert main(["table1", "--nodes", "200", "--sources", "2"]) == 0
+    out = capsys.readouterr().out
+    assert "|S|=  2" in out

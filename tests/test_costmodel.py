@@ -1,0 +1,109 @@
+"""Tests for the Fortz--Thorup cost model and the load tracker."""
+
+import pytest
+
+from repro.costmodel import (
+    LoadTracker,
+    assign_static_costs,
+    fortz_thorup_cost,
+    fortz_thorup_curve,
+)
+from repro.graph import Graph
+
+
+def test_exact_segment_values():
+    # Evaluate the printed formula at representative points (p = 1).
+    assert fortz_thorup_cost(0.2) == pytest.approx(0.2)
+    assert fortz_thorup_cost(0.5) == pytest.approx(3 * 0.5 - 2 / 3)
+    assert fortz_thorup_cost(0.8) == pytest.approx(10 * 0.8 - 16 / 3)
+    assert fortz_thorup_cost(0.95) == pytest.approx(70 * 0.95 - 178 / 3)
+    assert fortz_thorup_cost(1.05) == pytest.approx(500 * 1.05 - 1468 / 3)
+    assert fortz_thorup_cost(1.5) == pytest.approx(5000 * 1.5 - 14318 / 3)
+
+
+def test_continuity_at_breakpoints():
+    for knee in (1 / 3, 2 / 3, 9 / 10, 1.0):
+        below = fortz_thorup_cost(knee - 1e-9)
+        above = fortz_thorup_cost(knee + 1e-9)
+        assert below == pytest.approx(above, abs=1e-4)
+
+
+def test_paper_discontinuity_at_last_knee():
+    """The paper prints intercept -14318/3 for the last segment; the
+    original Fortz--Thorup function uses -16318/3, which would be
+    continuous.  We reproduce the paper as printed, so the function jumps
+    at l/p = 11/10 -- this test documents that deliberate fidelity."""
+    below = fortz_thorup_cost(1.1 - 1e-9)
+    above = fortz_thorup_cost(1.1 + 1e-9)
+    assert above > below + 600  # the printed coefficients jump by ~666.7
+
+
+def test_capacity_scaling():
+    # Homogeneity: c(l, p) = p * c(l/p, 1).
+    for load, cap in [(30.0, 100.0), (95.0, 100.0), (4.0, 5.0)]:
+        assert fortz_thorup_cost(load, cap) == pytest.approx(
+            cap * fortz_thorup_cost(load / cap, 1.0)
+        )
+
+
+def test_invalid_arguments():
+    with pytest.raises(ValueError):
+        fortz_thorup_cost(1.0, 0.0)
+    with pytest.raises(ValueError):
+        fortz_thorup_cost(-1.0, 1.0)
+
+
+def test_curve_shape():
+    curve = fortz_thorup_curve(samples=121)
+    assert len(curve) == 121
+    assert curve[0] == (0.0, 0.0)
+    costs = [c for _, c in curve]
+    assert all(b >= a for a, b in zip(costs, costs[1:]))
+    with pytest.raises(ValueError):
+        fortz_thorup_curve(samples=1)
+
+
+def test_assign_static_costs():
+    import random
+
+    g = Graph.from_edges([(0, 1, 99.0), (1, 2, 99.0)])
+    assign_static_costs(g, random.Random(0), capacity=100.0)
+    for _, _, cost in g.edges():
+        assert 0.0 <= cost <= fortz_thorup_cost(100.0, 100.0)
+        assert cost != 99.0
+
+
+def test_load_tracker_links():
+    tracker = LoadTracker(link_capacity=100.0)
+    tracker.add_link_load(0, 1, 30.0)
+    tracker.add_link_load(1, 0, 20.0)  # same undirected link
+    assert tracker.link_utilisation(0, 1) == pytest.approx(0.5)
+    assert tracker.link_cost(0, 1) == pytest.approx(fortz_thorup_cost(50.0, 100.0))
+    assert tracker.link_cost(5, 6) == 0.0  # untouched link
+
+
+def test_load_tracker_nodes():
+    tracker = LoadTracker(node_capacity=5.0)
+    for _ in range(5):
+        tracker.add_node_load("vm")
+    assert tracker.node_utilisation("vm") == pytest.approx(1.0)
+    assert tracker.node_cost("vm") == pytest.approx(fortz_thorup_cost(5.0, 5.0))
+
+
+def test_congestion_queries():
+    tracker = LoadTracker(link_capacity=10.0, node_capacity=2.0)
+    tracker.add_link_load(0, 1, 9.5)
+    tracker.add_link_load(1, 2, 1.0)
+    tracker.add_node_load("vm", 2.0)
+    assert list(tracker.congested_links()) == [(0, 1)]
+    assert list(tracker.overloaded_nodes()) == ["vm"]
+
+
+def test_apply_to_graph_floor():
+    tracker = LoadTracker()
+    g = Graph.from_edges([(0, 1, 5.0)])
+    tracker.apply_to_graph(g, floor=0.25)
+    assert g.cost(0, 1) == 0.25  # zero load -> floor
+    tracker.add_link_load(0, 1, 90.0)
+    tracker.apply_to_graph(g)
+    assert g.cost(0, 1) == pytest.approx(fortz_thorup_cost(90.0, 100.0))

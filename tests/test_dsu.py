@@ -1,0 +1,48 @@
+"""Unit tests for the disjoint-set union."""
+
+from repro.graph import DisjointSetUnion
+
+
+def test_singletons():
+    dsu = DisjointSetUnion([1, 2, 3])
+    assert dsu.num_sets == 3
+    assert not dsu.connected(1, 2)
+
+
+def test_union_and_find():
+    dsu = DisjointSetUnion()
+    assert dsu.union(1, 2)
+    assert dsu.connected(1, 2)
+    assert not dsu.union(1, 2)  # already merged
+    assert dsu.num_sets == 1
+
+
+def test_transitive_union():
+    dsu = DisjointSetUnion()
+    dsu.union("a", "b")
+    dsu.union("b", "c")
+    assert dsu.connected("a", "c")
+    assert dsu.find("a") == dsu.find("c")
+
+
+def test_lazy_add_on_find():
+    dsu = DisjointSetUnion()
+    assert dsu.find("fresh") == "fresh"
+    assert len(dsu) == 1
+
+
+def test_num_sets_tracks_merges():
+    dsu = DisjointSetUnion(range(10))
+    for i in range(9):
+        dsu.union(i, i + 1)
+    assert dsu.num_sets == 1
+    assert len(dsu) == 10
+
+
+def test_many_unions_path_compression():
+    dsu = DisjointSetUnion()
+    n = 500
+    for i in range(n - 1):
+        dsu.union(i, i + 1)
+    root = dsu.find(0)
+    assert all(dsu.find(i) == root for i in range(n))

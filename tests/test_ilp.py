@@ -1,0 +1,130 @@
+"""Tests for the IP formulation and the HiGHS solver bridge."""
+
+import itertools
+
+import pytest
+
+from helpers import random_instance
+from repro import Graph, ServiceChain, SOFInstance, check_forest
+from repro.ilp import build_model, sof_lp_bound, solve_sof_ilp
+
+
+@pytest.fixture
+def tiny():
+    # 0 (source) - 1 (vm) - 2 (vm) - 3 (dest), one extra expensive bypass.
+    graph = Graph.from_edges([
+        (0, 1, 1.0), (1, 2, 1.0), (2, 3, 1.0), (0, 3, 50.0),
+    ])
+    return SOFInstance(
+        graph=graph, vms={1, 2}, sources={0}, destinations={3},
+        chain=ServiceChain.of_length(2), node_costs={1: 2.0, 2: 3.0},
+    )
+
+
+def test_model_dimensions(tiny):
+    model = build_model(tiny)
+    L = 2
+    arcs = 2 * tiny.graph.num_edges()
+    assert len(model.sigma_index) == L * len(tiny.vms)
+    assert len(model.tau_index) == (L + 1) * arcs  # stages f_S, f1, f2
+    assert len(model.pi_index) == len(tiny.destinations) * (L + 1) * arcs
+    assert model.num_variables == model.objective.shape[0]
+    assert model.matrix.shape == (model.num_constraints, model.num_variables)
+
+
+def test_tiny_optimum_known(tiny):
+    # Unique sensible embedding: 0 -> 1 (f1) -> 2 (f2) -> 3.
+    solution = solve_sof_ilp(tiny)
+    assert solution.optimal
+    assert solution.objective == pytest.approx(1 + 1 + 1 + 2 + 3)
+    check_forest(tiny, solution.forest)
+    assert solution.forest.total_cost() == pytest.approx(solution.objective)
+
+
+def test_function_order_is_enforced():
+    # VM costs force f1 on the *far* VM if order were free; the IP must
+    # respect the chain order instead.
+    graph = Graph.from_edges([
+        (0, 1, 1.0), (1, 2, 1.0), (2, 3, 1.0),
+    ])
+    instance = SOFInstance(
+        graph=graph, vms={1, 2}, sources={0}, destinations={3},
+        chain=ServiceChain.of_length(2), node_costs={1: 0.0, 2: 0.0},
+    )
+    solution = solve_sof_ilp(instance)
+    chain = solution.forest.chains[0]
+    assert chain.vm_of_vnf(0) == 1
+    assert chain.vm_of_vnf(1) == 2
+
+
+def test_one_vnf_per_vm():
+    # A single chain of length 2 but only two VMs: both must be used.
+    graph = Graph.from_edges([(0, 1, 1.0), (1, 2, 1.0), (2, 3, 1.0)])
+    instance = SOFInstance(
+        graph=graph, vms={1, 2}, sources={0}, destinations={3},
+        chain=ServiceChain.of_length(2),
+    )
+    solution = solve_sof_ilp(instance)
+    vms = {solution.forest.chains[0].vm_of_vnf(i) for i in range(2)}
+    assert vms == {1, 2}
+
+
+def test_multicast_sharing_cheaper_than_two_unicasts():
+    # Two destinations behind a long shared trunk: the IP pays the trunk
+    # once (tau), confirming the multicast accounting.
+    graph = Graph.from_edges([
+        (0, 1, 1.0), (1, 2, 1.0), (2, 3, 10.0), (3, 4, 1.0), (3, 5, 1.0),
+    ])
+    instance = SOFInstance(
+        graph=graph, vms={1, 2}, sources={0}, destinations={4, 5},
+        chain=ServiceChain.of_length(2),
+    )
+    solution = solve_sof_ilp(instance)
+    # Trunk (2,3) costs 10 and appears once.
+    assert solution.objective == pytest.approx(1 + 1 + 10 + 1 + 1)
+
+
+def test_decoded_forest_cost_matches_objective():
+    for seed in range(6):
+        instance = random_instance(seed + 7, n=12, num_vms=4,
+                                   num_sources=2, num_dests=2, chain_len=2)
+        solution = solve_sof_ilp(instance)
+        check_forest(instance, solution.forest)
+        assert solution.forest.total_cost() == pytest.approx(
+            solution.objective, rel=1e-6
+        )
+
+
+def test_lp_bound_below_ip():
+    for seed in range(4):
+        instance = random_instance(seed + 30, n=12, num_vms=4,
+                                   num_sources=2, num_dests=3, chain_len=2)
+        lp = sof_lp_bound(instance)
+        ip = solve_sof_ilp(instance, decode=False).objective
+        assert lp <= ip + 1e-6
+
+
+def test_brute_force_cross_check():
+    """Exhaustively enumerate single-destination embeddings on a tiny graph
+    and confirm the IP matches the cheapest."""
+    graph = Graph.from_edges([
+        (0, 1, 2.0), (0, 2, 3.0), (1, 2, 1.0), (1, 3, 4.0), (2, 3, 2.0),
+    ])
+    instance = SOFInstance(
+        graph=graph, vms={1, 2}, sources={0}, destinations={3},
+        chain=ServiceChain.of_length(1), node_costs={1: 5.0, 2: 0.5},
+    )
+    from repro.graph import DistanceOracle
+
+    oracle = DistanceOracle(graph)
+    best = min(
+        oracle.distance(0, vm) + instance.setup_cost(vm) + oracle.distance(vm, 3)
+        for vm in instance.vms
+    )
+    solution = solve_sof_ilp(instance)
+    assert solution.objective == pytest.approx(best)
+
+
+def test_time_limit_accepted(tiny):
+    solution = solve_sof_ilp(tiny, time_limit=30.0)
+    assert solution.objective == pytest.approx(8.0)

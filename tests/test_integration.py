@@ -1,0 +1,135 @@
+"""End-to-end integration tests across packages.
+
+These exercise the whole pipeline the way the benchmarks do -- topology ->
+instance -> every algorithm -> validation -> cost comparison -- plus the
+cross-package flows (dynamic ops on topology-sampled embeddings, online
+loops, distributed equivalence) on small configurations.
+"""
+
+import pytest
+
+from repro import ServiceChain, check_forest, sofda, sofda_ss
+from repro.baselines import enemp_baseline, est_baseline, st_baseline
+from repro.core.dynamic import destination_join, destination_leave, vnf_insertion
+from repro.distributed import DistributedSOFDA
+from repro.ilp import solve_sof_ilp
+from repro.online import RequestGenerator, run_online_comparison
+from repro.topology import cogent_network, softlayer_network
+
+
+@pytest.fixture(scope="module")
+def softlayer_instance():
+    return softlayer_network(seed=1).make_instance(
+        num_sources=6, num_destinations=4, num_vms=12,
+        chain=ServiceChain.of_length(3), seed=11,
+    )
+
+
+def test_all_algorithms_feasible_and_ordered(softlayer_instance):
+    instance = softlayer_instance
+    results = {
+        "SOFDA": sofda(instance).forest,
+        "SOFDA-SS": sofda_ss(instance),
+        "eNEMP": enemp_baseline(instance),
+        "eST": est_baseline(instance),
+        "ST": st_baseline(instance),
+    }
+    for forest in results.values():
+        check_forest(instance, forest)
+    opt = solve_sof_ilp(instance, time_limit=120).objective
+    for name, forest in results.items():
+        assert forest.total_cost() >= opt - 1e-6, name
+    # SOFDA within its proven bound (3 * rho = 6 with KMB).
+    assert results["SOFDA"].total_cost() <= 6 * opt + 1e-6
+    # The multi-source algorithm never loses to its single-source variant.
+    assert results["SOFDA"].total_cost() <= results["SOFDA-SS"].total_cost() + 1e-9
+
+
+def test_cogent_pipeline_smoke():
+    instance = cogent_network(seed=1).make_instance(
+        num_sources=8, num_destinations=6, num_vms=15,
+        chain=ServiceChain.of_length(3), seed=3,
+    )
+    result = sofda(instance)
+    check_forest(instance, result.forest)
+    st = st_baseline(instance)
+    assert result.cost <= st.total_cost() + 1e-9
+
+
+def test_dynamic_sequence_on_embedded_forest(softlayer_instance):
+    instance = softlayer_instance
+    forest = sofda(instance).forest
+    # join -> insert VNF -> leave, validating at every step.
+    outsider = next(
+        n for n in sorted(instance.graph.nodes(), key=repr)
+        if n not in instance.destinations and n not in instance.sources
+        and n not in instance.vms
+    )
+    instance2, forest2 = destination_join(forest, outsider)
+    instance3, forest3 = vnf_insertion(forest2, 1, "cache")
+    instance4, forest4 = destination_leave(forest3, outsider)
+    check_forest(instance4, forest4)
+    assert len(instance4.chain) == 4
+    assert outsider not in instance4.destinations
+
+
+def test_online_sofda_wins(tmp_path):
+    factory = lambda: softlayer_network(seed=3)  # noqa: E731
+    requests = RequestGenerator(
+        factory(), seed=11, destinations_range=(4, 6), sources_range=(2, 3)
+    ).take(6)
+    results = run_online_comparison(
+        factory,
+        {
+            "SOFDA": lambda inst: sofda(inst).forest,
+            "ST": st_baseline,
+        },
+        requests,
+    )
+    assert results["SOFDA"].total_cost <= results["ST"].total_cost + 1e-6
+
+
+def test_distributed_equals_centralized_on_topology(softlayer_instance):
+    distributed = DistributedSOFDA(softlayer_instance, num_domains=3, seed=2)
+    result = distributed.run()
+    central = sofda(softlayer_instance)
+    assert result.cost == pytest.approx(central.cost)
+    assert distributed.verify_abstraction(samples=25)
+
+
+def test_setup_cost_multiplier_reduces_vm_usage():
+    """Fig. 11(b)'s mechanism: pricier VMs -> SOFDA uses fewer of them."""
+    network = softlayer_network(seed=1)
+    base = dict(num_sources=8, num_destinations=6, num_vms=20,
+                chain=ServiceChain.of_length(3))
+    used_cheap, used_dear = [], []
+    for seed in range(4):
+        cheap = network.make_instance(
+            seed=seed, setup_cost_multiplier=1.0, **base
+        )
+        dear = network.make_instance(
+            seed=seed, setup_cost_multiplier=9.0, **base
+        )
+        used_cheap.append(len(sofda(cheap).forest.used_vms()))
+        used_dear.append(len(sofda(dear).forest.used_vms()))
+    assert sum(used_dear) <= sum(used_cheap)
+
+
+def test_replicated_vms_allow_long_chains():
+    """The paper's multi-VNF-per-host trick: replicate the VM node."""
+    network = softlayer_network(seed=1)
+    instance = network.make_instance(
+        num_sources=3, num_destinations=3, num_vms=4,
+        chain=ServiceChain.of_length(3), seed=2,
+    )
+    replicated = instance.replicate_vms(copies=2)
+    long_chain = ServiceChain.of_length(6)
+    from repro import SOFInstance
+
+    big = SOFInstance(
+        graph=replicated.graph, vms=replicated.vms,
+        sources=replicated.sources, destinations=replicated.destinations,
+        chain=long_chain, node_costs=replicated.node_costs,
+    )
+    result = sofda(big)
+    check_forest(big, result.forest)

@@ -1,0 +1,56 @@
+"""MST tests, cross-checked against networkx."""
+
+import random
+
+import networkx as nx
+import pytest
+
+from helpers import random_connected_graph
+from repro.graph import Graph, kruskal_mst, prim_mst
+
+
+def test_kruskal_simple():
+    g = Graph.from_edges([(1, 2, 1.0), (2, 3, 2.0), (1, 3, 10.0)])
+    mst = kruskal_mst(g)
+    assert mst.num_edges() == 2
+    assert mst.total_edge_cost() == 3.0
+
+
+def test_prim_matches_kruskal_weight():
+    for seed in range(6):
+        rng = random.Random(seed)
+        g = random_connected_graph(rng, 24, extra_edges=30)
+        k = kruskal_mst(g)
+        p = prim_mst(g, root=0)
+        assert k.total_edge_cost() == pytest.approx(p.total_edge_cost())
+
+
+@pytest.mark.parametrize("seed", range(5))
+def test_kruskal_matches_networkx(seed):
+    rng = random.Random(seed)
+    g = random_connected_graph(rng, 30, extra_edges=40)
+    h = nx.Graph()
+    for u, v, c in g.edges():
+        h.add_edge(u, v, weight=c)
+    nx_weight = sum(
+        d["weight"] for _, _, d in nx.minimum_spanning_tree(h).edges(data=True)
+    )
+    assert kruskal_mst(g).total_edge_cost() == pytest.approx(nx_weight)
+
+
+def test_kruskal_spanning_forest_of_disconnected():
+    g = Graph.from_edges([(1, 2, 1.0), (3, 4, 2.0)])
+    mst = kruskal_mst(g)
+    assert mst.num_edges() == 2
+    assert len(mst) == 4
+
+
+def test_prim_spans_component_only():
+    g = Graph.from_edges([(1, 2, 1.0), (3, 4, 2.0)])
+    tree = prim_mst(g, root=1)
+    assert 3 not in tree
+    assert tree.has_edge(1, 2)
+
+
+def test_prim_empty_graph():
+    assert len(prim_mst(Graph())) == 0

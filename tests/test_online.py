@@ -1,0 +1,117 @@
+"""Tests for the online deployment simulator."""
+
+import pytest
+
+from repro import sofda
+from repro.baselines import est_baseline
+from repro.online import OnlineSimulator, RequestGenerator, run_online_comparison
+from repro.topology import softlayer_network
+
+
+@pytest.fixture
+def network():
+    return softlayer_network(seed=3)
+
+
+def test_request_generator_deterministic(network):
+    a = RequestGenerator(network, seed=5).take(4)
+    b = RequestGenerator(network, seed=5).take(4)
+    assert [(r.sources, r.destinations) for r in a] == [
+        (r.sources, r.destinations) for r in b
+    ]
+    c = RequestGenerator(network, seed=6).take(4)
+    assert [(r.sources, r.destinations) for r in a] != [
+        (r.sources, r.destinations) for r in c
+    ]
+
+
+def test_request_generator_paper_ranges(network):
+    gen = RequestGenerator(network, seed=0)
+    for request in gen.take(10):
+        assert 13 <= len(request.destinations) <= 17
+        assert 8 <= len(request.sources) <= 12
+        assert len(request.chain) == 3
+        assert request.demand_mbps == 5.0
+
+
+def test_request_generator_custom_ranges(network):
+    gen = RequestGenerator(network, seed=0, destinations_range=(2, 3),
+                           sources_range=(1, 2), chain_length=2)
+    request = gen.next_request()
+    assert 2 <= len(request.destinations) <= 3
+    assert 1 <= len(request.sources) <= 2
+    # Small enough to stay disjoint.
+    assert set(request.sources).isdisjoint(request.destinations)
+
+
+def test_request_ranges_validated(network):
+    with pytest.raises(ValueError):
+        RequestGenerator(network, seed=0, destinations_range=(30, 40),
+                         sources_range=(1, 2))
+
+
+def test_simulator_builds_vm_pool(network):
+    sim = OnlineSimulator(network, vms_per_datacenter=5)
+    assert len(sim.vms) == 5 * len(network.datacenters)
+
+
+def test_simulator_commit_raises_loads(network):
+    sim = OnlineSimulator(network)
+    gen = RequestGenerator(network, seed=2, destinations_range=(3, 3),
+                           sources_range=(2, 2))
+    request = gen.next_request()
+    instance = sim.current_instance(request)
+    forest = sofda(instance).forest
+    assert not sim.tracker.link_load
+    sim.commit(forest, request)
+    assert sim.tracker.link_load
+    assert sim.tracker.node_load
+    # Every used VM got one slot of load.
+    for vm in forest.enabled:
+        assert sim.tracker.node_load[vm] == 1.0
+
+
+def test_costs_rise_with_load(network):
+    sim = OnlineSimulator(network)
+    gen = RequestGenerator(network, seed=2, destinations_range=(3, 3),
+                           sources_range=(2, 2))
+    request = gen.next_request()
+    first = sim.embed(request, lambda inst: sofda(inst).forest)
+    # Re-embedding the identical request now sees loaded links.
+    second = sim.embed(request, lambda inst: sofda(inst).forest)
+    assert second >= first - 1e-9
+
+
+def test_run_online_comparison_isolates_state(network):
+    gen = RequestGenerator(network, seed=7, destinations_range=(3, 4),
+                           sources_range=(2, 2))
+    requests = gen.take(3)
+    results = run_online_comparison(
+        lambda: softlayer_network(seed=3),
+        {
+            "SOFDA": lambda inst: sofda(inst).forest,
+            "eST": est_baseline,
+        },
+        requests,
+    )
+    assert set(results) == {"SOFDA", "eST"}
+    for res in results.values():
+        assert len(res.accumulative_cost) == 3
+        assert res.rejected == 0
+        # Accumulative series is nondecreasing.
+        assert all(
+            b >= a - 1e-9
+            for a, b in zip(res.accumulative_cost, res.accumulative_cost[1:])
+        )
+
+
+def test_rejection_counted(network):
+    sim = OnlineSimulator(network)
+    gen = RequestGenerator(network, seed=1, destinations_range=(2, 2),
+                           sources_range=(2, 2))
+    request = gen.next_request()
+
+    def broken(instance):
+        raise RuntimeError("embedder exploded")
+
+    assert sim.embed(request, broken) is None

@@ -1,0 +1,135 @@
+"""Property-based tests (hypothesis) on the core invariants.
+
+Strategies build random connected weighted graphs and random SOF
+instances; the properties are the paper's structural claims:
+
+- shortest paths satisfy the triangle inequality;
+- MST weight is invariant across algorithms;
+- Procedure 1's instance is metric (Lemma 1);
+- every SOFDA / SOFDA-SS / baseline forest is feasible;
+- the exact IP is never beaten by any heuristic;
+- forest cost accounting is consistent (setup + connection = total,
+  nonnegative, monotone under adding tree edges).
+"""
+
+import random
+
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from helpers import random_connected_graph, random_instance
+from repro import check_forest, sofda, sofda_ss
+from repro.core.transform import build_kstroll_instance
+from repro.graph import DistanceOracle, kruskal_mst, prim_mst
+from repro.ilp import solve_sof_ilp
+
+SETTINGS = dict(
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+@st.composite
+def graph_spec(draw, max_nodes=24):
+    n = draw(st.integers(min_value=3, max_value=max_nodes))
+    extra = draw(st.integers(min_value=0, max_value=2 * n))
+    seed = draw(st.integers(min_value=0, max_value=10_000))
+    return n, extra, seed
+
+
+@st.composite
+def instance_spec(draw):
+    seed = draw(st.integers(min_value=0, max_value=10_000))
+    n = draw(st.integers(min_value=10, max_value=22))
+    num_vms = draw(st.integers(min_value=3, max_value=min(7, n - 4)))
+    rest = n - num_vms
+    num_sources = draw(st.integers(min_value=1, max_value=min(3, rest - 1)))
+    num_dests = draw(
+        st.integers(min_value=1, max_value=min(3, rest - num_sources))
+    )
+    chain_len = draw(st.integers(min_value=1, max_value=min(3, num_vms)))
+    return dict(seed=seed, n=n, num_vms=num_vms, num_sources=num_sources,
+                num_dests=num_dests, chain_len=chain_len)
+
+
+@given(graph_spec())
+@settings(max_examples=40, **SETTINGS)
+def test_shortest_paths_triangle_inequality(spec):
+    n, extra, seed = spec
+    g = random_connected_graph(random.Random(seed), n, extra)
+    oracle = DistanceOracle(g)
+    rng = random.Random(seed + 1)
+    for _ in range(10):
+        a, b, c = rng.sample(range(n), 3) if n >= 3 else (0, 1, 2)
+        assert oracle.distance(a, c) <= (
+            oracle.distance(a, b) + oracle.distance(b, c) + 1e-9
+        )
+
+
+@given(graph_spec())
+@settings(max_examples=40, **SETTINGS)
+def test_mst_weight_algorithm_invariant(spec):
+    n, extra, seed = spec
+    g = random_connected_graph(random.Random(seed), n, extra)
+    k = kruskal_mst(g)
+    p = prim_mst(g, root=0)
+    assert abs(k.total_edge_cost() - p.total_edge_cost()) < 1e-6
+    assert k.num_edges() == n - 1
+
+
+@given(instance_spec())
+@settings(max_examples=30, **SETTINGS)
+def test_procedure1_instance_is_metric(spec):
+    instance = random_instance(**spec)
+    source = sorted(instance.sources, key=repr)[0]
+    vms = sorted(instance.vms, key=repr)
+    last = vms[0] if vms[0] != source else vms[1]
+    kinst = build_kstroll_instance(instance, source, last)
+    nodes = kinst.nodes
+    rng = random.Random(spec["seed"])
+    for _ in range(12):
+        if len(nodes) < 3:
+            break
+        a, b, c = rng.sample(nodes, 3)
+        assert kinst.edge(a, c) <= kinst.edge(a, b) + kinst.edge(b, c) + 1e-9
+
+
+@given(instance_spec())
+@settings(max_examples=25, **SETTINGS)
+def test_sofda_always_feasible(spec):
+    instance = random_instance(**spec)
+    result = sofda(instance)
+    check_forest(instance, result.forest)
+    assert result.cost >= 0
+
+
+@given(instance_spec())
+@settings(max_examples=15, **SETTINGS)
+def test_sofda_ss_always_feasible(spec):
+    instance = random_instance(**spec)
+    forest = sofda_ss(instance)
+    check_forest(instance, forest)
+
+
+@given(instance_spec())
+@settings(max_examples=10, **SETTINGS)
+def test_heuristics_never_beat_the_ip(spec):
+    instance = random_instance(**spec)
+    opt = solve_sof_ilp(instance, decode=False).objective
+    assert sofda(instance).cost >= opt - 1e-6
+    assert sofda_ss(instance).total_cost() >= opt - 1e-6
+
+
+@given(instance_spec())
+@settings(max_examples=20, **SETTINGS)
+def test_forest_cost_accounting_consistent(spec):
+    instance = random_instance(**spec)
+    forest = sofda(instance).forest
+    assert forest.total_cost() == forest.setup_cost() + forest.connection_cost()
+    assert forest.setup_cost() >= 0
+    assert forest.connection_cost() >= 0
+    # Adding an unrelated tree edge can only increase the connection cost.
+    before = forest.connection_cost()
+    u, v, _ = next(iter(instance.graph.edges()))
+    clone = forest.copy()
+    clone.add_tree_edge(u, v)
+    assert clone.connection_cost() >= before - 1e-9

@@ -1,0 +1,39 @@
+"""Executable check of the Theorem-1 reduction (Appendix A)."""
+
+import random
+
+import pytest
+
+from helpers import random_connected_graph
+from repro.core.reduction import REDUCTION_SOURCE, steiner_to_sof, verify_reduction
+from repro.graph import Graph
+
+
+def test_reduction_structure():
+    g = Graph.from_edges([(0, 1, 1.0), (1, 2, 2.0), (0, 2, 4.0)])
+    instance = steiner_to_sof(g, root=0, terminals=[1, 2], edge_weight=3.0)
+    assert instance.vms == {0}
+    assert instance.sources == {REDUCTION_SOURCE}
+    assert instance.destinations == {1, 2}
+    assert len(instance.chain) == 1
+    assert instance.graph.cost(REDUCTION_SOURCE, 0) == 3.0
+    assert instance.setup_cost(0) == 0.0
+
+
+def test_reduction_rejects_bad_arguments():
+    g = Graph.from_edges([(0, 1, 1.0)])
+    with pytest.raises(ValueError):
+        steiner_to_sof(g, 0, [1], edge_weight=0.0)
+    with pytest.raises(ValueError):
+        steiner_to_sof(g, 0, [0, 1])
+
+
+@pytest.mark.parametrize("seed", range(5))
+def test_theorem1_optimum_identity(seed):
+    """OPT_SOF == OPT_Steiner + w on random small instances."""
+    rng = random.Random(seed)
+    g = random_connected_graph(rng, 12, extra_edges=10)
+    terminals = rng.sample(range(1, 12), 4)
+    w = rng.uniform(0.5, 5.0)
+    opt_steiner, opt_sof = verify_reduction(g, 0, terminals, edge_weight=w)
+    assert opt_sof == pytest.approx(opt_steiner + w, rel=1e-6)

@@ -1,0 +1,67 @@
+"""Tests for the online congestion-rerouting wrapper (Section VII-B)."""
+
+import pytest
+
+from repro import check_forest, sofda
+from repro.costmodel import LoadTracker
+from repro.graph.graph import canonical_edge
+from repro.online import (
+    OnlineSimulator,
+    RequestGenerator,
+    congested_forest_links,
+    reroute_forest_around_congestion,
+)
+from repro.topology import softlayer_network
+
+
+@pytest.fixture
+def embedded_with_tracker():
+    network = softlayer_network(seed=3)
+    simulator = OnlineSimulator(network)
+    generator = RequestGenerator(
+        network, seed=8, destinations_range=(4, 4), sources_range=(3, 3)
+    )
+    request = generator.next_request()
+    instance = simulator.current_instance(request)
+    forest = sofda(instance).forest
+    simulator.commit(forest, request)
+    return forest, simulator.tracker
+
+
+def test_no_congestion_no_links(embedded_with_tracker):
+    forest, tracker = embedded_with_tracker
+    # One 5 Mbps request on 100 Mbps links congests nothing.
+    assert congested_forest_links(forest, tracker) == []
+
+
+def test_congested_links_detected(embedded_with_tracker):
+    forest, tracker = embedded_with_tracker
+    # Manually congest one used chain edge.
+    edge = canonical_edge(*next(iter(forest.chains[0].all_edges())))
+    tracker.add_link_load(*edge, 95.0)
+    hot = congested_forest_links(forest, tracker)
+    assert edge in hot
+
+
+def test_reroute_produces_feasible_forest(embedded_with_tracker):
+    forest, tracker = embedded_with_tracker
+    edge = canonical_edge(*next(iter(forest.chains[0].all_edges())))
+    tracker.add_link_load(*edge, 95.0)
+    instance, rerouted, count = reroute_forest_around_congestion(
+        forest, tracker
+    )
+    assert count == 1
+    check_forest(instance, rerouted)
+    # The congested link's updated cost is reflected in the new instance.
+    assert instance.graph.cost(*edge) == pytest.approx(tracker.link_cost(*edge))
+
+
+def test_reroute_respects_max_links(embedded_with_tracker):
+    forest, tracker = embedded_with_tracker
+    edges = list(forest.chains[0].all_edges())[:3]
+    for a, b in edges:
+        tracker.add_link_load(a, b, 96.0)
+    _, _, count = reroute_forest_around_congestion(
+        forest, tracker, max_links=1
+    )
+    assert count <= 1

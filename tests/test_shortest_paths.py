@@ -1,0 +1,113 @@
+"""Dijkstra / oracle tests, cross-checked against networkx."""
+
+import random
+
+import networkx as nx
+import pytest
+
+from helpers import random_connected_graph
+from repro.graph import DistanceOracle, Graph, dijkstra, shortest_path, walk_cost
+
+
+def to_networkx(g: Graph) -> nx.Graph:
+    h = nx.Graph()
+    for u, v, c in g.edges():
+        h.add_edge(u, v, weight=c)
+    for n in g.nodes():
+        h.add_node(n)
+    return h
+
+
+def test_dijkstra_simple_line():
+    g = Graph.from_edges([(1, 2, 1.0), (2, 3, 2.0)])
+    dist, parent = dijkstra(g, 1)
+    assert dist == {1: 0.0, 2: 1.0, 3: 3.0}
+    assert parent[3] == 2
+
+
+def test_dijkstra_prefers_cheaper_detour():
+    g = Graph.from_edges([(1, 2, 10.0), (1, 3, 1.0), (3, 2, 1.0)])
+    dist, _ = dijkstra(g, 1)
+    assert dist[2] == 2.0
+
+
+def test_dijkstra_unknown_source_raises():
+    with pytest.raises(KeyError):
+        dijkstra(Graph(), "nope")
+
+
+def test_dijkstra_early_exit_targets():
+    g = Graph.from_edges([(i, i + 1, 1.0) for i in range(50)])
+    dist, _ = dijkstra(g, 0, targets={5})
+    assert dist[5] == 5.0
+    # Early exit must not have settled the far end.
+    assert 50 not in dist or dist[50] >= 5.0
+
+
+def test_shortest_path_reconstruction():
+    g = Graph.from_edges([(1, 2, 1.0), (2, 3, 1.0), (1, 3, 5.0)])
+    path, cost = shortest_path(g, 1, 3)
+    assert path == [1, 2, 3]
+    assert cost == 2.0
+
+
+def test_shortest_path_unreachable_raises():
+    g = Graph.from_edges([(1, 2, 1.0)])
+    g.add_node(3)
+    with pytest.raises(ValueError):
+        shortest_path(g, 1, 3)
+
+
+def test_walk_cost_counts_repeats():
+    g = Graph.from_edges([(1, 2, 3.0), (2, 3, 1.0)])
+    assert walk_cost(g, [1, 2, 1, 2, 3]) == 3.0 * 3 + 1.0
+
+
+@pytest.mark.parametrize("seed", range(8))
+def test_dijkstra_matches_networkx(seed):
+    rng = random.Random(seed)
+    g = random_connected_graph(rng, 30, extra_edges=25)
+    h = to_networkx(g)
+    dist, _ = dijkstra(g, 0)
+    nx_dist = nx.single_source_dijkstra_path_length(h, 0)
+    assert set(dist) == set(nx_dist)
+    for node, d in dist.items():
+        assert d == pytest.approx(nx_dist[node])
+
+
+def test_oracle_caches_and_matches_direct():
+    rng = random.Random(5)
+    g = random_connected_graph(rng, 25, extra_edges=15)
+    oracle = DistanceOracle(g)
+    for s, t in [(0, 10), (0, 24), (3, 7)]:
+        path, cost = shortest_path(g, s, t)
+        assert oracle.distance(s, t) == pytest.approx(cost)
+        opath = oracle.path(s, t)
+        assert opath[0] == s and opath[-1] == t
+        assert walk_cost(g, opath) == pytest.approx(cost)
+
+
+def test_oracle_reverse_direction_served_from_cache():
+    g = Graph.from_edges([(1, 2, 2.0), (2, 3, 4.0)])
+    oracle = DistanceOracle(g)
+    assert oracle.distance(1, 3) == 6.0
+    # Reverse query must be answered (symmetric) without error.
+    assert oracle.distance(3, 1) == 6.0
+
+
+def test_oracle_unreachable_is_inf():
+    g = Graph.from_edges([(1, 2, 1.0)])
+    g.add_node(9)
+    oracle = DistanceOracle(g)
+    assert oracle.distance(1, 9) == float("inf")
+    with pytest.raises(ValueError):
+        oracle.path(1, 9)
+
+
+def test_oracle_invalidate():
+    g = Graph.from_edges([(1, 2, 5.0)])
+    oracle = DistanceOracle(g)
+    assert oracle.distance(1, 2) == 5.0
+    g.add_edge(1, 2, 1.0)
+    oracle.invalidate()
+    assert oracle.distance(1, 2) == 1.0

@@ -1,0 +1,79 @@
+"""Tests for SOFDA-SS (Algorithm 1, single source)."""
+
+import pytest
+
+from helpers import random_instance
+from repro import check_forest, sofda_ss
+from repro.ilp import solve_sof_ilp
+
+
+def test_fig3_example_runs(fig3_instance):
+    forest = sofda_ss(fig3_instance, source=1)
+    check_forest(fig3_instance, forest)
+    # One tree, all five VNFs placed in order.
+    assert forest.num_trees() == 1
+    assert len(forest.enabled) == 5
+
+
+def test_fig3_example_cost_reasonable(fig3_instance):
+    forest = sofda_ss(fig3_instance, source=1)
+    opt = solve_sof_ilp(fig3_instance).objective
+    assert forest.total_cost() >= opt - 1e-9
+    # Theorem 2: (2 + rho_ST) with rho_ST = 2 for KMB -> factor 4.
+    assert forest.total_cost() <= 4 * opt + 1e-9
+
+
+def test_fig2_single_source(fig2_instance):
+    forest = sofda_ss(fig2_instance, source=1)
+    check_forest(fig2_instance, forest)
+    assert forest.chains[0].source == 1
+
+
+def test_best_source_selection(fig2_instance):
+    best = sofda_ss(fig2_instance)  # tries both sources
+    fixed0 = sofda_ss(fig2_instance, source=0)
+    fixed1 = sofda_ss(fig2_instance, source=1)
+    assert best.total_cost() <= min(fixed0.total_cost(), fixed1.total_cost()) + 1e-9
+
+
+def test_invalid_source_raises(fig2_instance):
+    with pytest.raises(ValueError):
+        sofda_ss(fig2_instance, source=99)
+
+
+def test_candidate_restriction(fig2_instance):
+    forest = sofda_ss(fig2_instance, source=1, candidate_last_vms=[7])
+    assert forest.chains[0].last_vm == 7
+
+
+@pytest.mark.parametrize("seed", range(10))
+def test_feasible_on_random_instances(seed):
+    instance = random_instance(seed, n=16, num_vms=6, num_sources=1,
+                               num_dests=3, chain_len=2)
+    forest = sofda_ss(instance)
+    check_forest(instance, forest)
+
+
+@pytest.mark.parametrize("seed", range(6))
+def test_approximation_bound_versus_optimum(seed):
+    instance = random_instance(seed + 40, n=14, num_vms=5, num_sources=1,
+                               num_dests=3, chain_len=2)
+    forest = sofda_ss(instance)
+    opt = solve_sof_ilp(instance).objective
+    assert forest.total_cost() >= opt - 1e-6
+    assert forest.total_cost() <= 4 * opt + 1e-6  # (2 + rho) with rho = 2
+
+
+def test_exact_steiner_never_worse(fig3_instance):
+    kmb = sofda_ss(fig3_instance, source=1, steiner_method="kmb")
+    exact = sofda_ss(fig3_instance, source=1, steiner_method="exact")
+    assert exact.total_cost() <= kmb.total_cost() + 1e-9
+
+
+def test_chain_order_respected(fig3_instance):
+    forest = sofda_ss(fig3_instance, source=1)
+    chain = forest.chains[0]
+    positions = [pos for pos, _ in chain.vnf_positions()]
+    assert positions == sorted(positions)
+    vnfs = [vnf for _, vnf in chain.vnf_positions()]
+    assert vnfs == list(range(5))

@@ -1,0 +1,56 @@
+"""Appendix D: scenarios with setup costs on sources."""
+
+import pytest
+
+from repro import Graph, ServiceChain, SOFInstance, check_forest, sofda, sofda_ss
+
+
+@pytest.fixture
+def two_source_instance():
+    """Symmetric network where only the source setup cost differs."""
+    g = Graph.from_edges([
+        ("sA", "m1", 1.0), ("sB", "m1", 1.0),
+        ("m1", "m2", 1.0), ("m2", "d", 1.0),
+    ])
+    return dict(
+        graph=g, vms={"m1", "m2"}, sources={"sA", "sB"},
+        destinations={"d"}, chain=ServiceChain.of_length(2),
+        node_costs={"m1": 1.0, "m2": 1.0},
+    )
+
+
+def test_source_cost_steers_selection(two_source_instance):
+    instance = SOFInstance(
+        source_costs={"sA": 100.0, "sB": 0.0}, **two_source_instance
+    )
+    forest = sofda_ss(instance)
+    check_forest(instance, forest)
+    assert forest.used_sources() == {"sB"}
+
+
+def test_source_cost_included_in_total(two_source_instance):
+    free = SOFInstance(**two_source_instance)
+    priced = SOFInstance(
+        source_costs={"sA": 5.0, "sB": 5.0}, **two_source_instance
+    )
+    cost_free = sofda_ss(free).total_cost()
+    cost_priced = sofda_ss(priced).total_cost()
+    assert cost_priced == pytest.approx(cost_free + 5.0)
+
+
+def test_sofda_with_source_costs_feasible(two_source_instance):
+    instance = SOFInstance(
+        source_costs={"sA": 2.0, "sB": 3.0}, **two_source_instance
+    )
+    result = sofda(instance)
+    check_forest(instance, result.forest)
+    # Exactly one source used; its setup cost is charged once.
+    assert result.forest.setup_cost() >= 2.0
+
+
+def test_zero_source_costs_match_default(two_source_instance):
+    explicit = SOFInstance(
+        source_costs={"sA": 0.0, "sB": 0.0}, **two_source_instance
+    )
+    implicit = SOFInstance(**two_source_instance)
+    assert sofda(explicit).cost == pytest.approx(sofda(implicit).cost)

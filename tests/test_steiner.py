@@ -1,0 +1,156 @@
+"""Steiner-tree solver tests: correctness, bounds, cross-validation."""
+
+import random
+
+import pytest
+
+from helpers import random_connected_graph
+from repro.graph import Graph, metric_closure, steiner_tree
+from repro.graph.steiner import (
+    dreyfus_wagner_steiner_tree,
+    kmb_steiner_tree,
+    mehlhorn_steiner_tree,
+)
+
+
+def _grid_graph(n: int) -> Graph:
+    g = Graph()
+    for i in range(n):
+        for j in range(n):
+            if i + 1 < n:
+                g.add_edge((i, j), (i + 1, j), 1.0)
+            if j + 1 < n:
+                g.add_edge((i, j), (i, j + 1), 1.0)
+    return g
+
+
+def _check_valid_tree(result, graph, terminals):
+    tree = result.tree
+    assert all(t in tree for t in terminals)
+    assert tree.is_connected()
+    # A tree: |E| = |V| - 1.
+    assert tree.num_edges() == len(tree) - 1
+    # Every tree edge is a graph edge with the same cost.
+    for u, v, c in tree.edges():
+        assert graph.has_edge(u, v)
+        assert graph.cost(u, v) == pytest.approx(c)
+    # No non-terminal leaves remain.
+    for node in tree.nodes():
+        if node not in terminals:
+            assert tree.degree(node) >= 2
+    assert result.cost == pytest.approx(tree.total_edge_cost())
+
+
+@pytest.mark.parametrize("method", ["kmb", "mehlhorn", "exact"])
+def test_single_terminal(method):
+    g = Graph.from_edges([(1, 2, 1.0)])
+    result = steiner_tree(g, [1], method=method)
+    assert result.cost == 0.0
+    assert 1 in result.tree
+
+
+@pytest.mark.parametrize("method", ["kmb", "mehlhorn", "exact"])
+def test_two_terminals_is_shortest_path(method):
+    g = Graph.from_edges([(1, 2, 1.0), (2, 3, 1.0), (1, 3, 5.0)])
+    result = steiner_tree(g, [1, 3], method=method)
+    assert result.cost == pytest.approx(2.0)
+
+
+@pytest.mark.parametrize("method", ["kmb", "mehlhorn", "exact"])
+def test_star_uses_steiner_point(method):
+    # Classic: 3 terminals around a cheap hub; the tree should use the hub.
+    g = Graph.from_edges([
+        ("hub", "a", 1.0), ("hub", "b", 1.0), ("hub", "c", 1.0),
+        ("a", "b", 3.0), ("b", "c", 3.0), ("a", "c", 3.0),
+    ])
+    result = steiner_tree(g, ["a", "b", "c"], method=method)
+    assert result.cost == pytest.approx(3.0)
+    assert "hub" in result.tree
+
+
+@pytest.mark.parametrize("method", ["kmb", "mehlhorn", "exact"])
+@pytest.mark.parametrize("seed", range(4))
+def test_valid_tree_on_random_graphs(method, seed):
+    rng = random.Random(seed)
+    g = random_connected_graph(rng, 25, extra_edges=20)
+    terminals = rng.sample(range(25), 5)
+    result = steiner_tree(g, terminals, method=method)
+    _check_valid_tree(result, g, set(terminals))
+
+
+@pytest.mark.parametrize("seed", range(6))
+def test_kmb_within_2x_of_exact(seed):
+    rng = random.Random(seed + 100)
+    g = random_connected_graph(rng, 20, extra_edges=15)
+    terminals = rng.sample(range(20), 5)
+    exact = dreyfus_wagner_steiner_tree(g, terminals)
+    kmb = kmb_steiner_tree(g, terminals)
+    mehl = mehlhorn_steiner_tree(g, terminals)
+    assert exact.cost <= kmb.cost + 1e-9
+    assert exact.cost <= mehl.cost + 1e-9
+    assert kmb.cost <= 2 * exact.cost + 1e-9
+    assert mehl.cost <= 2 * exact.cost + 1e-9
+
+
+def test_exact_on_grid_known_value():
+    # Terminals at 3 corners of a 3x3 grid: the optimal Steiner tree is
+    # the L-shaped 4-edge tree.
+    g = _grid_graph(3)
+    result = dreyfus_wagner_steiner_tree(g, [(0, 0), (0, 2), (2, 0)])
+    assert result.cost == pytest.approx(4.0)
+
+
+def test_exact_too_many_terminals_raises():
+    g = _grid_graph(5)
+    terminals = list(g.nodes())[:15]
+    with pytest.raises(ValueError):
+        dreyfus_wagner_steiner_tree(g, terminals)
+
+
+def test_unreachable_terminals_raise():
+    g = Graph.from_edges([(1, 2, 1.0)])
+    g.add_node(9)
+    for method in ("kmb", "mehlhorn", "exact"):
+        with pytest.raises(ValueError):
+            steiner_tree(g, [1, 9], method=method)
+
+
+def test_duplicate_terminals_deduplicated():
+    g = Graph.from_edges([(1, 2, 1.0), (2, 3, 1.0)])
+    result = steiner_tree(g, [1, 3, 1, 3], method="kmb")
+    assert result.cost == pytest.approx(2.0)
+
+
+def test_unknown_method_raises():
+    g = Graph.from_edges([(1, 2, 1.0)])
+    with pytest.raises(ValueError):
+        steiner_tree(g, [1, 2], method="quantum")
+
+
+def test_auto_uses_exact_on_small_instances():
+    g = Graph.from_edges([
+        ("hub", "a", 1.0), ("hub", "b", 1.0), ("hub", "c", 1.0),
+        ("a", "b", 3.0), ("b", "c", 3.0), ("a", "c", 3.0),
+    ])
+    result = steiner_tree(g, ["a", "b", "c"], method="auto")
+    assert result.cost == pytest.approx(3.0)
+
+
+def test_metric_closure_costs_are_shortest_paths():
+    g = Graph.from_edges([(1, 2, 1.0), (2, 3, 1.0), (1, 3, 9.0)])
+    closure = metric_closure(g, [1, 3])
+    assert closure.cost(1, 3) == pytest.approx(2.0)
+
+
+def test_steiner_cost_at_least_metric_mst_lower_bound():
+    # The optimal Steiner tree costs at least half the metric-closure MST
+    # (standard bound); sanity-check the relation on random graphs.
+    from repro.graph import kruskal_mst
+
+    rng = random.Random(77)
+    g = random_connected_graph(rng, 22, extra_edges=18)
+    terminals = rng.sample(range(22), 5)
+    closure_mst = kruskal_mst(metric_closure(g, terminals))
+    exact = dreyfus_wagner_steiner_tree(g, terminals)
+    assert exact.cost >= closure_mst.total_edge_cost() / 2 - 1e-9
+    assert exact.cost <= closure_mst.total_edge_cost() + 1e-9

@@ -1,0 +1,135 @@
+"""Tests for the testbed QoE simulator (topology, flows, video, experiment)."""
+
+import pytest
+
+from repro import sofda
+from repro.baselines import est_baseline
+from repro.testbed import (
+    FlowSimulator,
+    VideoSession,
+    VideoSpec,
+    destination_paths,
+    fig13_topology,
+    run_qoe_experiment,
+)
+from repro.testbed.experiment import _testbed_instance
+from repro.testbed.flowsim import stream_multiplicity
+
+
+def test_fig13_counts():
+    net = fig13_topology()
+    assert net.num_nodes == 14
+    assert net.num_links == 20
+    assert net.graph.is_connected()
+    assert len(net.datacenters) == 14
+
+
+def test_testbed_instance_structure():
+    instance, congestion = _testbed_instance(seed=1)
+    assert len(instance.sources) == 2
+    assert len(instance.destinations) == 4
+    assert len(instance.chain) == 2
+    assert len(congestion) == 20
+    for bw in congestion.values():
+        assert 4.5 <= bw <= 40.0
+
+
+def test_destination_paths_reach_all():
+    instance, _ = _testbed_instance(seed=2)
+    forest = sofda(instance, steiner_method="exact").forest
+    paths = destination_paths(forest)
+    assert set(paths) == set(instance.destinations)
+    for dest, path in paths.items():
+        # The path is a connected edge sequence starting at a source.
+        assert path[0][0] in instance.sources or not path
+        for (a, b), (c, d) in zip(path, path[1:]):
+            assert b == c
+        if path:
+            assert path[-1][1] == dest
+        for a, b in path:
+            assert instance.graph.has_edge(a, b)
+
+
+def test_stream_multiplicity_counts_stages():
+    instance, _ = _testbed_instance(seed=2)
+    forest = sofda(instance, steiner_method="exact").forest
+    mult = stream_multiplicity(forest)
+    assert all(m >= 1 for m in mult.values())
+
+
+def test_flow_simulator_goodput_bounds():
+    instance, congestion = _testbed_instance(seed=3)
+    forest = sofda(instance, steiner_method="exact").forest
+    sim = FlowSimulator(forest, base_bandwidth=congestion, seed=1)
+    for _ in range(5):
+        goodput = sim.step_goodput()
+        assert set(goodput) == set(instance.destinations)
+        for rate in goodput.values():
+            assert 0.0 < rate <= 41.0  # clear-range top + jitter
+
+
+def test_flow_simulator_deterministic():
+    instance, congestion = _testbed_instance(seed=3)
+    forest = sofda(instance, steiner_method="exact").forest
+    a = FlowSimulator(forest, base_bandwidth=congestion, seed=9)
+    b = FlowSimulator(forest, base_bandwidth=congestion, seed=9)
+    assert a.step_goodput() == b.step_goodput()
+
+
+def test_video_session_fast_link_no_stall():
+    session = VideoSession(spec=VideoSpec(duration_s=10.0, bitrate_mbps=8.0))
+    for _ in range(100):
+        if session.finished:
+            break
+        session.advance(16.0)  # 2x bitrate
+    assert session.finished
+    assert session.rebuffering_s == 0.0
+    assert session.startup_latency == pytest.approx(1.0)
+
+
+def test_video_session_slow_link_stalls():
+    session = VideoSession(spec=VideoSpec(duration_s=10.0, bitrate_mbps=8.0))
+    for _ in range(1000):
+        if session.finished:
+            break
+        session.advance(4.0)  # half the bitrate
+    assert session.finished
+    assert session.rebuffering_s > 5.0
+    assert session.startup_latency > 1.0
+
+
+def test_video_session_total_time_conservation():
+    # wall clock = startup + playback + stalls (within one step).
+    spec = VideoSpec(duration_s=20.0, bitrate_mbps=8.0)
+    session = VideoSession(spec=spec)
+    import random
+
+    rng = random.Random(4)
+    while not session.finished:
+        session.advance(rng.uniform(4.0, 12.0))
+    assert session.clock_s == pytest.approx(
+        session.startup_latency + spec.duration_s + session.rebuffering_s,
+        abs=2.0,
+    )
+
+
+def test_video_session_run_to_completion():
+    session = VideoSession(spec=VideoSpec(duration_s=5.0))
+    session.run_to_completion(iter(lambda: 10.0, None))
+    assert session.finished
+    assert session.played_s == pytest.approx(5.0)
+
+
+def test_qoe_experiment_smoke():
+    reports = run_qoe_experiment(
+        {
+            "SOFDA": lambda inst: sofda(inst, steiner_method="exact").forest,
+            "eST": lambda inst: est_baseline(inst, steiner_method="exact"),
+        },
+        trials=4,
+        seed=1,
+    )
+    for report in reports.values():
+        assert len(report.startup_latencies) == 4 * 4  # trials x destinations
+        assert report.mean_startup_latency > 0
+        assert 0 <= report.mean_rebuffering < 137.0

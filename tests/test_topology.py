@@ -1,0 +1,141 @@
+"""Tests for topology generators and instance sampling."""
+
+import pytest
+
+from repro import ServiceChain
+from repro.topology import (
+    cogent_network,
+    erdos_renyi_network,
+    geographic_network,
+    inet_network,
+    softlayer_network,
+    waxman_network,
+)
+
+
+def test_softlayer_counts():
+    net = softlayer_network(seed=0)
+    assert net.num_nodes == 27
+    assert net.num_links == 49
+    assert len(net.datacenters) == 17
+    assert net.graph.is_connected()
+
+
+def test_cogent_counts():
+    net = cogent_network(seed=0)
+    assert net.num_nodes == 190
+    assert net.num_links == 260
+    assert len(net.datacenters) == 40
+    assert net.graph.is_connected()
+
+
+def test_inet_counts_and_connectivity():
+    net = inet_network(num_nodes=300, num_links=600, num_datacenters=100, seed=1)
+    assert net.num_nodes == 300
+    assert net.num_links == 600
+    assert len(net.datacenters) == 100
+    assert net.graph.is_connected()
+
+
+def test_inet_heavy_tail():
+    net = inet_network(num_nodes=400, num_links=800, num_datacenters=50, seed=2)
+    degrees = sorted((net.graph.degree(n) for n in net.graph.nodes()), reverse=True)
+    # Preferential attachment: the hubs dominate -- the max degree is far
+    # above the mean (4).
+    assert degrees[0] > 4 * (2 * 800 / 400)
+
+
+def test_geographic_rejects_too_few_links():
+    with pytest.raises(ValueError):
+        geographic_network("bad", 10, 5, 2)
+
+
+def test_waxman_connected():
+    net = waxman_network(50, seed=3)
+    assert net.graph.is_connected()
+
+
+def test_erdos_renyi_connected():
+    net = erdos_renyi_network(40, 0.05, seed=4)
+    assert net.graph.is_connected()
+
+
+def test_generators_deterministic():
+    a = softlayer_network(seed=9)
+    b = softlayer_network(seed=9)
+    assert sorted(a.graph.edges()) == sorted(b.graph.edges())
+    assert a.datacenters == b.datacenters
+    c = softlayer_network(seed=10)
+    assert sorted(a.graph.edges()) != sorted(c.graph.edges())
+
+
+def test_make_instance_structure():
+    net = softlayer_network(seed=1)
+    inst = net.make_instance(
+        num_sources=3, num_destinations=4, num_vms=10,
+        chain=ServiceChain.of_length(3), seed=5,
+    )
+    assert len(inst.sources) == 3
+    assert len(inst.destinations) == 4
+    assert len(inst.vms) == 10
+    assert inst.sources.isdisjoint(inst.destinations)
+    # VMs attach to data centers and carry costs.
+    for vm in inst.vms:
+        assert vm in inst.node_costs
+        neighbors = list(inst.graph.neighbors(vm))
+        assert len(neighbors) == 1
+        assert neighbors[0] in net.datacenters
+
+
+def test_make_instance_deterministic():
+    net = softlayer_network(seed=1)
+    kwargs = dict(num_sources=3, num_destinations=4, num_vms=8,
+                  chain=ServiceChain.of_length(2), seed=5)
+    a = net.make_instance(**kwargs)
+    b = net.make_instance(**kwargs)
+    assert a.sources == b.sources
+    assert a.destinations == b.destinations
+    assert a.node_costs == b.node_costs
+
+
+def test_make_instance_sweep_stability():
+    """Sweeping the VM count must not perturb S/D or link costs."""
+    net = softlayer_network(seed=1)
+    base = dict(num_sources=3, num_destinations=4,
+                chain=ServiceChain.of_length(2), seed=5)
+    a = net.make_instance(num_vms=5, **base)
+    b = net.make_instance(num_vms=25, **base)
+    assert a.sources == b.sources
+    assert a.destinations == b.destinations
+    edge = next(iter(net.graph.edges()))[:2]
+    assert a.graph.cost(*edge) == b.graph.cost(*edge)
+
+
+def test_make_instance_setup_multiplier():
+    net = softlayer_network(seed=1)
+    base = dict(num_sources=2, num_destinations=3, num_vms=6,
+                chain=ServiceChain.of_length(2), seed=7)
+    x1 = net.make_instance(setup_cost_multiplier=1.0, **base)
+    x3 = net.make_instance(setup_cost_multiplier=3.0, **base)
+    for vm in x1.vms:
+        assert x3.node_costs[vm] == pytest.approx(3 * x1.node_costs[vm])
+
+
+def test_make_instance_validates_sizes():
+    net = softlayer_network(seed=1)
+    with pytest.raises(ValueError):
+        net.make_instance(num_sources=100, num_destinations=4, num_vms=6,
+                          chain=ServiceChain.of_length(2), seed=0)
+    with pytest.raises(ValueError):
+        net.make_instance(num_sources=2, num_destinations=2, num_vms=1,
+                          chain=ServiceChain.of_length(2), seed=0)
+
+
+def test_overlapping_sets_when_topology_small():
+    net = softlayer_network(seed=1)
+    inst = net.make_instance(
+        num_sources=26, num_destinations=6, num_vms=6,
+        chain=ServiceChain.of_length(2), seed=3,
+    )
+    assert len(inst.sources) == 26
+    assert len(inst.destinations) == 6

@@ -1,0 +1,141 @@
+"""Tests for the feasibility checker (every violation type)."""
+
+import pytest
+
+from repro import (
+    DeployedChain,
+    ForestInfeasible,
+    Graph,
+    ServiceChain,
+    ServiceOverlayForest,
+    SOFInstance,
+    check_forest,
+)
+from repro.core.validation import is_feasible
+
+
+@pytest.fixture
+def instance():
+    graph = Graph.from_edges([
+        (0, 1, 1.0), (1, 2, 1.0), (2, 3, 1.0), (3, 4, 1.0), (2, 5, 1.0),
+    ])
+    return SOFInstance(
+        graph=graph, vms={1, 2, 3}, sources={0}, destinations={4, 5},
+        chain=ServiceChain.of_length(2),
+    )
+
+
+def _good_forest(instance):
+    forest = ServiceOverlayForest(instance=instance)
+    forest.add_chain(DeployedChain(walk=[0, 1, 2], placements={1: 0, 2: 1}))
+    forest.add_tree_edge(2, 3)
+    forest.add_tree_edge(3, 4)
+    forest.add_tree_edge(2, 5)
+    return forest
+
+
+def test_good_forest_passes(instance):
+    check_forest(instance, _good_forest(instance))
+    assert is_feasible(instance, _good_forest(instance))
+
+
+def test_walk_must_follow_edges(instance):
+    forest = ServiceOverlayForest(instance=instance)
+    forest.add_chain(DeployedChain(walk=[0, 2], placements={1: 0}))
+    with pytest.raises(ForestInfeasible, match="not an edge"):
+        check_forest(instance, forest)
+
+
+def test_chain_must_cover_all_functions(instance):
+    forest = ServiceOverlayForest(instance=instance)
+    forest.add_chain(DeployedChain(walk=[0, 1, 2], placements={1: 0}))
+    with pytest.raises(ForestInfeasible, match="placements"):
+        check_forest(instance, forest)
+
+
+def test_functions_must_be_in_order(instance):
+    forest = ServiceOverlayForest(instance=instance)
+    chain = DeployedChain(walk=[0, 1, 2], placements={1: 1, 2: 0})
+    forest.chains.append(chain)
+    forest.enabled = {1: 1, 2: 0}
+    with pytest.raises(ForestInfeasible):
+        check_forest(instance, forest)
+
+
+def test_placement_on_non_vm_rejected(instance):
+    forest = ServiceOverlayForest(instance=instance)
+    chain = DeployedChain(walk=[0, 1, 2, 3, 4], placements={1: 0, 4: 1})
+    forest.chains.append(chain)
+    forest.enabled = {1: 0, 4: 1}
+    with pytest.raises(ForestInfeasible, match="non-VM"):
+        check_forest(instance, forest)
+
+
+def test_vnf_conflict_across_chains(instance):
+    forest = ServiceOverlayForest(instance=instance)
+    forest.chains.append(DeployedChain(walk=[0, 1, 2], placements={1: 0, 2: 1}))
+    forest.chains.append(DeployedChain(walk=[0, 1, 2], placements={1: 1, 2: 0}))
+    forest.enabled = {1: 0, 2: 1}
+    with pytest.raises(ForestInfeasible):
+        check_forest(instance, forest)
+
+
+def test_enabled_map_must_match(instance):
+    forest = _good_forest(instance)
+    forest.enabled[3] = 0  # phantom enabling
+    with pytest.raises(ForestInfeasible, match="no chain uses it"):
+        check_forest(instance, forest)
+
+
+def test_chain_must_start_at_source(instance):
+    forest = ServiceOverlayForest(instance=instance)
+    forest.add_chain(DeployedChain(walk=[1, 2, 3], placements={1: 0, 2: 1}))
+    forest.add_tree_edge(3, 4)
+    forest.add_tree_edge(2, 5)
+    with pytest.raises(ForestInfeasible, match="not a source"):
+        check_forest(instance, forest)
+
+
+def test_unserved_destination_detected(instance):
+    forest = ServiceOverlayForest(instance=instance)
+    forest.add_chain(DeployedChain(walk=[0, 1, 2], placements={1: 0, 2: 1}))
+    forest.add_tree_edge(2, 3)
+    forest.add_tree_edge(3, 4)
+    # Destination 5 untouched.
+    with pytest.raises(ForestInfeasible, match="5"):
+        check_forest(instance, forest)
+
+
+def test_tree_edge_must_exist_in_graph(instance):
+    forest = _good_forest(instance)
+    forest.tree_edges.add((0, 4))
+    with pytest.raises(ForestInfeasible, match="not an edge of G"):
+        check_forest(instance, forest)
+
+
+def test_destination_on_processed_tail_is_served(instance):
+    forest = ServiceOverlayForest(instance=instance)
+    forest.add_chain(
+        DeployedChain(walk=[0, 1, 2, 3, 4], placements={1: 0, 2: 1})
+    )
+    forest.add_tree_edge(2, 5)
+    check_forest(instance, forest)
+
+
+def test_destination_connected_through_unprocessed_segment_rejected(instance):
+    # Tree edge touching only the walk's pre-processing prefix serves
+    # nothing: content there has not passed the chain.
+    forest = ServiceOverlayForest(instance=instance)
+    forest.add_chain(DeployedChain(walk=[0, 1, 2], placements={1: 0, 2: 1}))
+    forest.add_tree_edge(0, 1)  # pre-chain segment
+    forest.add_tree_edge(3, 4)
+    forest.add_tree_edge(2, 5)
+    # 4 connects to {3} only; 3 is not a delivery point.
+    with pytest.raises(ForestInfeasible):
+        check_forest(instance, forest)
+
+
+def test_empty_forest_rejected(instance):
+    forest = ServiceOverlayForest(instance=instance)
+    with pytest.raises(ForestInfeasible, match="no complete chain"):
+        check_forest(instance, forest)
