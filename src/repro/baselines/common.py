@@ -48,6 +48,8 @@ def greedy_chain(
     the pool is too small or disconnected.
     """
     oracle = instance.oracle
+    distance = oracle.distance
+    setup_cost = instance.setup_cost
     count = num_functions if num_functions is not None else len(instance.chain)
     pool = set(allowed_vms)
     pool.discard(source)
@@ -60,10 +62,10 @@ def greedy_chain(
         best_vm = None
         best_score = float("inf")
         for vm in pool:
-            d = oracle.distance(current, vm)
+            d = distance(current, vm)
             if d == float("inf"):
                 continue
-            score = d + instance.setup_cost(vm)
+            score = d + setup_cost(vm)
             if score < best_score or (score == best_score and repr(vm) < repr(best_vm)):
                 best_vm, best_score = vm, score
         if best_vm is None:

@@ -281,15 +281,19 @@ def resolve_and_add_chain(
         stats.case3 += 1
         # u now runs `wanted`; the loop re-checks W's remaining conflicts.
 
-    return _repair_chain(forest, candidate, stats)
+    return repair_chain(forest, candidate, stats)
 
 
-def _repair_chain(
+def repair_chain(
     forest: ServiceOverlayForest,
     candidate: ChainWalk,
     stats: ResolutionStats,
 ) -> int:
-    """Fallback deployments guaranteeing feasibility (see module docstring)."""
+    """Fallback deployments guaranteeing feasibility (see module docstring).
+
+    Public entry point: SOFDA's no-resolution ablation and the dynamic-case
+    handlers route conflicted chains straight here.
+    """
     instance = forest.instance
     source = candidate.source
     handoff = candidate.last_vm
@@ -353,3 +357,7 @@ def _repair_chain(
         if chain.placements and chain.last_vm == point:
             return idx
     raise AssertionError("graft target vanished")
+
+
+#: Backwards-compatible alias; external callers should use :func:`repair_chain`.
+_repair_chain = repair_chain

@@ -12,7 +12,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, FrozenSet, Hashable, Iterable, Optional, Tuple
 
-from repro.graph import DistanceOracle, Graph
+from repro.graph import FrozenOracle, Graph
 
 Node = Hashable
 
@@ -74,7 +74,7 @@ class SOFInstance:
     chain: ServiceChain
     node_costs: Dict[Node, float] = field(default_factory=dict)
     source_costs: Dict[Node, float] = field(default_factory=dict)
-    _oracle: Optional[DistanceOracle] = field(default=None, repr=False, compare=False)
+    _oracle: Optional[FrozenOracle] = field(default=None, repr=False, compare=False)
 
     def __init__(
         self,
@@ -94,6 +94,10 @@ class SOFInstance:
         self.node_costs = dict(node_costs or {})
         self.source_costs = dict(source_costs or {})
         self._oracle = None
+        self._metric_block = None
+        self._source_vm_rows = {}
+        self._procedure1_rows = {}
+        self._sorted_vms = None
         self.validate()
 
     # ------------------------------------------------------------------
@@ -119,15 +123,91 @@ class SOFInstance:
 
     # ------------------------------------------------------------------
     @property
-    def oracle(self) -> DistanceOracle:
-        """Shared shortest-path oracle over the instance graph (lazy)."""
+    def oracle(self) -> FrozenOracle:
+        """Shared shortest-path oracle over the instance graph (lazy).
+
+        One oracle serves the whole pipeline (Procedure 1 sweeps, conflict
+        repairs, Steiner closures, baselines).  The hot set -- sources, VMs
+        and destinations -- lets it early-terminate each single-source
+        search once every node the sweeps can query is settled.
+        """
         if self._oracle is None:
-            self._oracle = DistanceOracle(self.graph)
+            self._oracle = FrozenOracle(
+                self.graph, hot=self.vms | self.sources | self.destinations
+            )
         return self._oracle
 
     def invalidate_oracle(self) -> None:
         """Drop cached shortest paths (after graph/cost mutation)."""
         self._oracle = None
+        self._metric_block = None
+        self._source_vm_rows = {}
+        self._procedure1_rows = {}
+
+    def sorted_vms(self) -> list:
+        """The VM set in canonical (repr) order, cached."""
+        if self._sorted_vms is None:
+            self._sorted_vms = sorted(self.vms, key=repr)
+        return self._sorted_vms
+
+    def procedure1_rows(self, source: Node) -> Dict[Node, Dict[Node, float]]:
+        """Mutable per-source copies of :meth:`metric_block` rows.
+
+        ``build_kstroll_instance`` stamps the Procedure-1 source column
+        into these rows in place, one ``last_vm`` at a time -- the sweep
+        consumes each instance before requesting the next, so a single
+        copy per source replaces one copy per (source, last_vm) pair.
+        """
+        rows = self._procedure1_rows.get(source)
+        if rows is None:
+            block = self.metric_block()
+            rows = {v: dict(r) for v, r in block.items() if v != source}
+            self._procedure1_rows[source] = rows
+        return rows
+
+    def source_vm_distances(self, source: Node) -> Dict[Node, float]:
+        """Base-graph distances from ``source`` to every VM (cached).
+
+        One row per source serves the whole |S| x |M| Procedure-1 sweep:
+        the distances are pure graph distances (no setup terms), so they
+        are shared by every ``last_vm`` choice.
+        """
+        row = self._source_vm_rows.get(source)
+        if row is None:
+            distance = self.oracle.distance
+            row = {v: distance(source, v) for v in self.sorted_vms()}
+            self._source_vm_rows[source] = row
+        return row
+
+    def metric_block(self) -> Dict[Node, Dict[Node, float]]:
+        """The source-independent Procedure-1 cost block over the VM set.
+
+        ``block[v1][v2]`` is ``d(v1, v2) + (setup(v1) + setup(v2)) / 2`` --
+        the Procedure-1 edge cost of every VM pair that involves neither
+        the chain's source nor a setup-cost override.  Those entries do not
+        depend on the ``(source, last_vm)`` pair, so one block is shared by
+        the entire |S| x |M| auxiliary-graph sweep instead of being
+        re-derived per pair.  Invalidated together with the oracle.
+        """
+        if self._metric_block is None:
+            oracle = self.oracle
+            setup = self.setup_cost
+            vms = self.sorted_vms()
+            # One row per VM up front: every later distance query that
+            # touches a VM is then served by undirected symmetry.
+            oracle.warm(vms)
+            block: Dict[Node, Dict[Node, float]] = {v: {} for v in vms}
+            for i, v1 in enumerate(vms):
+                row1 = block[v1]
+                s1 = setup(v1)
+                for v2 in vms[i + 1:]:
+                    base = oracle.distance(v1, v2)
+                    cost = base if base == float("inf") \
+                        else base + (s1 + setup(v2)) / 2.0
+                    row1[v2] = cost
+                    block[v2][v1] = cost
+            self._metric_block = block
+        return self._metric_block
 
     def setup_cost(self, node: Node) -> float:
         """Setup cost of ``node`` (0 for switches/non-VMs)."""
@@ -184,6 +264,9 @@ class SOFInstance:
             source_costs=self.source_costs,
         )
         clone._oracle = self._oracle  # shortest paths do not depend on the chain
+        clone._metric_block = self._metric_block
+        clone._source_vm_rows = self._source_vm_rows
+        clone._procedure1_rows = self._procedure1_rows
         return clone
 
     def restrict_sources(self, sources: Iterable[Node]) -> "SOFInstance":
@@ -198,6 +281,9 @@ class SOFInstance:
             source_costs=self.source_costs,
         )
         clone._oracle = self._oracle
+        clone._metric_block = self._metric_block
+        clone._source_vm_rows = self._source_vm_rows
+        clone._procedure1_rows = self._procedure1_rows
         return clone
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid

@@ -16,21 +16,36 @@ Algorithm 2 of the paper:
 
 The returned forest is feasibility-checked and lightly pruned (distribution
 edges that serve no destination are dropped -- a pure improvement).
+
+Performance: the whole pipeline shares the instance's single
+:class:`~repro.graph.indexed.FrozenOracle`.  Procedure 3 batches the
+|S| x |M| sweep through the instance-wide Procedure-1 metric block, and the
+Steiner step never runs Dijkstra on ``Ĝ`` itself -- an
+:class:`AuxiliaryOracle` answers terminal distance/path queries on ``Ĝ``
+from base-graph oracle rows over a condensed graph of the virtual part
+(see "Performance architecture" in ROADMAP.md).
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Hashable, List, Tuple
+from typing import Dict, Hashable, List, Optional, Tuple
 
-from repro.graph import Graph, steiner_tree
-from repro.core.conflict import ResolutionStats, resolve_and_add_chain
+from repro.graph import FrozenOracle, Graph, steiner_tree
+from repro.graph.shortest_paths import dijkstra, reconstruct_path
+from repro.graph.steiner import resolve_steiner_method
+from repro.core.conflict import (
+    ResolutionStats,
+    repair_chain,
+    resolve_and_add_chain,
+)
 from repro.core.forest import ServiceOverlayForest
 from repro.core.problem import SOFInstance
 from repro.core.transform import ChainWalk, chain_walk
 from repro.core.validation import check_forest
 
 Node = Hashable
+INF = float("inf")
 
 _VSRC = "__sof_virtual_source__"
 
@@ -43,14 +58,150 @@ def _vm_dup(u: Node) -> Tuple[str, Node]:
     return ("vm^", u)
 
 
+class AuxiliaryOracle:
+    """Distance/path oracle for ``Ĝ`` served from base-graph oracle rows.
+
+    Every ``Ĝ`` shortest path between real nodes (or ``ŝ``) decomposes into
+    real segments whose endpoints are VMs or query terminals, joined by
+    hops through the virtual part (``ŝ``, source duplicates, VM
+    duplicates).  A condensed graph over those ~|S| + |M| anchor nodes --
+    with real segments replaced by base-graph shortest-path distances --
+    therefore has *exactly* the ``Ĝ`` distances, and a Dijkstra on it costs
+    microseconds instead of a full sweep of the 5000-node auxiliary graph.
+
+    Queries whose endpoints are not registered terminals (e.g. the exact
+    Dreyfus--Wagner solver probing interior nodes) fall back to a
+    :class:`FrozenOracle` over ``Ĝ`` itself, which is always exact.
+    """
+
+    def __init__(
+        self,
+        instance: SOFInstance,
+        aux_graph: Graph,
+        virtual_source: Node,
+        terminals: List[Node],
+    ) -> None:
+        self._instance = instance
+        self._aux_graph = aux_graph
+        self._virtual_source = virtual_source
+        self._terminals = set(terminals)
+        self._condensed: Optional[Graph] = None
+        self._rows: Dict[Node, Tuple[Dict[Node, float], Dict[Node, Node]]] = {}
+        self._fallback: Optional[FrozenOracle] = None
+
+    @property
+    def graph(self) -> Graph:
+        """The auxiliary graph this oracle answers queries about."""
+        return self._aux_graph
+
+    # ------------------------------------------------------------------
+    def _build_condensed(self) -> Graph:
+        """The anchor graph: virtual part verbatim + metric real segments."""
+        if self._condensed is not None:
+            return self._condensed
+        instance = self._instance
+        base = instance.oracle
+        aux = self._aux_graph
+        vsrc = self._virtual_source
+        condensed = Graph()
+        condensed.add_node(vsrc)
+        # Virtual part verbatim: s^ -- v^ -- u^ -- u edges.
+        for nbr, cost in aux.neighbor_items(vsrc):
+            condensed.add_edge(vsrc, nbr, cost)
+        for v in sorted(instance.sources, key=repr):
+            vdup = _src_dup(v)
+            if vdup not in aux:
+                continue
+            for nbr, cost in aux.neighbor_items(vdup):
+                if nbr != vsrc:
+                    condensed.add_edge(vdup, nbr, cost)
+        anchors: List[Node] = []
+        for u in sorted(instance.vms, key=repr):
+            udup = _vm_dup(u)
+            if udup not in aux:
+                continue
+            condensed.add_edge(udup, u, aux.cost(udup, u))
+            anchors.append(u)
+        # Real segments between anchors (VM attachment points and query
+        # terminals) become metric edges from the shared base oracle.
+        reals = anchors + sorted(
+            (t for t in self._terminals if t != vsrc and t not in anchors),
+            key=repr,
+        )
+        for node in reals:
+            condensed.add_node(node)  # keep unreachable terminals queryable
+        for i, a in enumerate(reals):
+            for b in reals[i + 1:]:
+                d = base.distance(a, b)
+                if d < INF and a != b:
+                    condensed.add_edge(a, b, d)
+        self._condensed = condensed
+        return condensed
+
+    def _condensed_row(
+        self, source: Node
+    ) -> Tuple[Dict[Node, float], Dict[Node, Node]]:
+        row = self._rows.get(source)
+        if row is None:
+            row = dijkstra(self._build_condensed(), source)
+            self._rows[source] = row
+        return row
+
+    def _serves(self, node: Node) -> bool:
+        return node == self._virtual_source or node in self._terminals
+
+    def _ensure_fallback(self) -> FrozenOracle:
+        if self._fallback is None:
+            self._fallback = FrozenOracle(self._aux_graph)
+        return self._fallback
+
+    # ------------------------------------------------------------------
+    def distance(self, source: Node, target: Node) -> float:
+        """Shortest-path cost in ``Ĝ``; ``inf`` if unreachable."""
+        if not (self._serves(source) and self._serves(target)):
+            return self._ensure_fallback().distance(source, target)
+        dist, _ = self._condensed_row(source)
+        return dist.get(target, INF)
+
+    def path(self, source: Node, target: Node) -> List[Node]:
+        """A shortest ``Ĝ`` path, with real segments expanded through the
+        base oracle."""
+        if not (self._serves(source) and self._serves(target)):
+            return self._ensure_fallback().path(source, target)
+        dist, parent = self._condensed_row(source)
+        if target not in dist:
+            raise ValueError(f"no path from {source!r} to {target!r}")
+        condensed_path = reconstruct_path(parent, source, target)
+        aux = self._aux_graph
+        base = self._instance.oracle
+        out: List[Node] = [condensed_path[0]]
+        for a, b in zip(condensed_path, condensed_path[1:]):
+            if aux.has_edge(a, b) and aux.cost(a, b) == self._condensed.cost(a, b):
+                out.append(b)
+            else:
+                out.extend(base.path(a, b)[1:])
+        return out
+
+    def distances_from(self, source: Node) -> Dict[Node, float]:
+        """All ``Ĝ`` shortest-path costs from ``source``."""
+        return self._ensure_fallback().distances_from(source)
+
+    def invalidate(self) -> None:
+        """Drop all cached state."""
+        self._condensed = None
+        self._rows.clear()
+        self._fallback = None
+
+
 @dataclass
 class AuxiliaryGraph:
     """Procedure 3 output: the Steiner instance plus the walk behind each
-    virtual edge."""
+    virtual edge and the condensed oracle that answers ``Ĝ`` queries."""
 
     graph: Graph
     virtual_source: Node
     walks: Dict[Tuple[Node, Node], ChainWalk] = field(default_factory=dict)
+    oracle: Optional[AuxiliaryOracle] = None
 
     def walk_for(self, source: Node, last_vm: Node) -> ChainWalk:
         """The candidate chain represented by virtual edge ``(v̂, û)``."""
@@ -61,12 +212,27 @@ def build_auxiliary_graph(
     instance: SOFInstance,
     kstroll_method: str = "auto",
 ) -> AuxiliaryGraph:
-    """Procedure 3: construct the auxiliary Steiner-tree instance ``Ĝ``."""
-    aux = Graph()
-    for u, v, cost in instance.graph.edges():
-        aux.add_edge(u, v, cost)
-    for node in instance.graph.nodes():
-        aux.add_node(node)
+    """Procedure 3: construct the auxiliary Steiner-tree instance ``Ĝ``.
+
+    The |S| x |M| candidate-chain sweep runs on the instance's shared
+    oracle: each source and VM costs one (early-terminated) Dijkstra in
+    total, and the VM-pair block of every Procedure-1 instance is reused
+    across all pairs (:meth:`SOFInstance.metric_block`).
+    """
+    if instance.oracle.contracted is not None:
+        # Continuous-cost instance: shortest-path ties are measure-zero,
+        # so the bulk copy's different adjacency order cannot change any
+        # downstream tie-break.
+        aux = instance.graph.copy()
+    else:
+        # Tie-heavy instance: rebuild edge by edge so the auxiliary
+        # graph's enumeration order -- and with it every equal-cost
+        # tie-break downstream -- matches the historical construction.
+        aux = Graph()
+        for u, v, cost in instance.graph.edges():
+            aux.add_edge(u, v, cost)
+        for node in instance.graph.nodes():
+            aux.add_node(node)
 
     aux.add_node(_VSRC)
     walks: Dict[Tuple[Node, Node], ChainWalk] = {}
@@ -88,7 +254,11 @@ def build_auxiliary_graph(
                 aux.add_edge(key[0], key[1], cw.total_cost)
     if not walks:
         raise RuntimeError("no candidate service chain exists for any (source, VM) pair")
-    return AuxiliaryGraph(graph=aux, virtual_source=_VSRC, walks=walks)
+    terminals = [_VSRC] + sorted(instance.destinations, key=repr)
+    oracle = AuxiliaryOracle(instance, aux, _VSRC, terminals)
+    return AuxiliaryGraph(
+        graph=aux, virtual_source=_VSRC, walks=walks, oracle=oracle
+    )
 
 
 def _selected_virtual_edges(
@@ -141,7 +311,20 @@ def sofda(
     """
     aux = build_auxiliary_graph(instance, kstroll_method=kstroll_method)
     terminals = [aux.virtual_source] + sorted(instance.destinations, key=repr)
-    tree = steiner_tree(aux.graph, terminals, method=steiner_method).tree
+    # The condensed oracle serves KMB's terminal-only queries; the exact DP
+    # probes interior nodes pair-by-pair, where per-solver caching wins.
+    # It may pick a different (equally short) Ĝ path when shortest paths
+    # tie, so it engages only alongside the contracted instance oracle --
+    # i.e. on large continuous-cost graphs where ties are measure-zero.
+    resolved = resolve_steiner_method(aux.graph, terminals, steiner_method)
+    aux_oracle = (
+        aux.oracle
+        if resolved == "kmb" and instance.oracle.contracted is not None
+        else None
+    )
+    tree = steiner_tree(
+        aux.graph, terminals, method=steiner_method, oracle=aux_oracle
+    ).tree
 
     forest = ServiceOverlayForest(instance=instance)
     stats = ResolutionStats()
@@ -161,15 +344,14 @@ def sofda(
                 for pos, vnf in chain.placements.items()
             )
             if conflicted:
-                from repro.core.conflict import _repair_chain
-
-                _repair_chain(forest, candidate, stats)
+                repair_chain(forest, candidate, stats)
             else:
                 forest.add_chain(chain)
                 stats.clean += 1
 
     # Real edges of T ∩ G become distribution edges.
     real_nodes = set(instance.graph.nodes())
+    real_nodes.discard(_VSRC)
     for a, b, _ in tree.edges():
         if a in real_nodes and b in real_nodes:
             forest.add_tree_edge(a, b)

@@ -51,12 +51,52 @@ def build_kstroll_instance(
 
     Returns:
         The complete metric instance over the candidate pool plus ``s``.
+
+    Lifetime contract: when no per-call overrides are given, the returned
+    instance's cost matrix references per-source rows cached on
+    ``instance`` (one copy per source instead of one per ``(source,
+    last_vm)`` pair), and a later call with the same ``source`` re-stamps
+    the source column in place.  Consume each instance before requesting
+    the next one for that source -- every in-repo caller does.
     """
     oracle = instance.oracle
     pool = set(candidate_vms) if candidate_vms is not None else set(instance.vms)
     pool.add(last_vm)
     pool.discard(source)
-    nodes: List[Node] = [source] + sorted(pool, key=repr)
+
+    if setup_costs is None and source_cost == 0.0 and pool <= instance.vms:
+        # Fast path for the |S| x |M| sweep: every edge cost that involves
+        # neither the source nor an override is shared across all
+        # (source, last_vm) pairs, so reference the per-source copies of
+        # the instance-wide metric block and only stamp the source column
+        # per call.  The arithmetic mirrors ``edge_cost`` below term for
+        # term; VM-pair entries are symmetrised from one Dijkstra
+        # direction (the oracle's documented symmetry contract), so a
+        # reversed lazy query may disagree in the last ulp.
+        sorted_vms = instance.sorted_vms()
+        if len(pool) == len(sorted_vms) - (source in instance.vms):
+            ordered = [v for v in sorted_vms if v != source]
+        else:
+            ordered = sorted(pool, key=repr)
+        nodes: List[Node] = [source] + ordered
+        rows = instance.procedure1_rows(source)
+        base_row = instance.source_vm_distances(source)
+        cu = instance.setup_cost(last_vm)
+        setup_of = instance.setup_cost
+        source_row: Dict[Node, float] = {}
+        matrix: Dict[Node, Dict[Node, float]] = {source: source_row}
+        for v in ordered:
+            base = base_row[v]
+            cost = INF if base == INF else base + (cu + setup_of(v)) / 2.0
+            source_row[v] = cost
+            row = rows[v]
+            row[source] = cost
+            matrix[v] = row
+        return KStrollInstance(
+            nodes=nodes, source=source, target=last_vm, cost=matrix
+        )
+
+    nodes = [source] + sorted(pool, key=repr)
 
     def setup(node: Node) -> float:
         """Effective setup cost of a VM (honouring overrides)."""

@@ -54,11 +54,21 @@ class LoadTracker:
     cost_scale: float = 1.0
     link_load: Dict[Edge, float] = field(default_factory=dict)
     node_load: Dict[Node, float] = field(default_factory=dict)
+    #: Links whose load changed since the last :meth:`drain_dirty_links`
+    #: call -- lets graph/oracle maintenance stay incremental.
+    dirty_links: set = field(default_factory=set)
 
     def add_link_load(self, u: Node, v: Node, demand: float) -> None:
         """Add ``demand`` to link ``{u, v}``."""
         key = canonical_edge(u, v)
         self.link_load[key] = self.link_load.get(key, 0.0) + demand
+        self.dirty_links.add(key)
+
+    def drain_dirty_links(self) -> set:
+        """Links loaded since the last drain (and reset the dirty set)."""
+        dirty = self.dirty_links
+        self.dirty_links = set()
+        return dirty
 
     def add_node_load(self, node: Node, demand: float = 1.0) -> None:
         """Add ``demand`` to a VM host."""

@@ -4,6 +4,9 @@ This package provides every graph primitive the paper's algorithms rely on,
 implemented from scratch:
 
 - :class:`~repro.graph.graph.Graph` -- an undirected weighted graph type.
+- :mod:`~repro.graph.indexed` -- the interned CSR core: an int-indexed
+  graph with array Dijkstra and the :class:`FrozenOracle` the SOFDA
+  pipeline shares (see "Performance architecture" in ROADMAP.md).
 - :mod:`~repro.graph.shortest_paths` -- Dijkstra, path reconstruction and a
   caching all-pairs distance oracle.
 - :mod:`~repro.graph.dsu` -- disjoint-set union used by Kruskal.
@@ -17,6 +20,7 @@ implemented from scratch:
 
 from repro.graph.graph import Graph
 from repro.graph.dsu import DisjointSetUnion
+from repro.graph.indexed import FrozenOracle, IndexedGraph
 from repro.graph.shortest_paths import (
     DistanceOracle,
     dijkstra,
@@ -30,6 +34,8 @@ from repro.graph.kstroll import KStrollInstance, solve_kstroll
 __all__ = [
     "Graph",
     "DisjointSetUnion",
+    "FrozenOracle",
+    "IndexedGraph",
     "DistanceOracle",
     "dijkstra",
     "shortest_path",

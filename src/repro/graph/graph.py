@@ -94,13 +94,20 @@ class Graph:
         return iter(self._adj)
 
     def edges(self) -> Iterator[Tuple[Node, Node, float]]:
-        """Iterate over all undirected edges once as ``(u, v, cost)``."""
-        seen = set()
+        """Iterate over all undirected edges once as ``(u, v, cost)``.
+
+        Each edge is yielded exactly once, from its lower-id endpoint --
+        where a node's id is its insertion index, so every node is
+        orderable regardless of type and no per-edge ``canonical_edge``
+        tuple or seen-set entry is ever allocated.  The enumeration order
+        (first encounter in adjacency order) is part of the contract:
+        seeded cost assignment iterates edges in this order.
+        """
+        pos = {node: i for i, node in enumerate(self._adj)}
         for u, neighbors in self._adj.items():
+            pu = pos[u]
             for v, cost in neighbors.items():
-                edge = canonical_edge(u, v)
-                if edge not in seen:
-                    seen.add(edge)
+                if pu < pos[v]:
                     yield u, v, cost
 
     def num_edges(self) -> int:

@@ -1,0 +1,755 @@
+"""Indexed graph core: node interning, CSR adjacency and array Dijkstra.
+
+The dict-of-dicts :class:`~repro.graph.graph.Graph` is convenient for
+construction and small instances, but every Dijkstra relaxation pays a hash
+of an arbitrary node key and every heap entry carries a Python object.  The
+paper-scale sweeps (Table I: |V| up to 5000, |S| up to 26) run dozens of
+single-source searches per SOFDA call, so this module provides a compact
+core the hot paths share:
+
+- :class:`IndexedGraph` -- interns nodes into dense int ids and stores the
+  adjacency as CSR-style flat arrays (``indptr``/``indices``/``weights``)
+  plus per-node ``(weight, neighbor_id)`` rows for the Dijkstra inner loop.
+- :meth:`IndexedGraph.dijkstra` -- array-based Dijkstra whose ``dist`` and
+  ``parent`` are flat lists indexed by int id and whose heap entries are
+  ``(float, int, int)`` tuples, so no node ``repr`` tie-breaking ever runs.
+  The relaxation order (including the push-counter tie-break) replicates
+  :func:`repro.graph.shortest_paths.dijkstra` exactly, so the two return
+  identical distances *and* identical shortest-path trees.
+- :class:`FrozenOracle` -- a drop-in replacement for
+  :class:`~repro.graph.shortest_paths.DistanceOracle` over a graph that is
+  not mutated while cached.  Rows are computed lazily into flat arrays; a
+  ``hot`` node set names the nodes the workload queries repeatedly.
+
+On large instances the oracle additionally *contracts* the search graph:
+ISP-style topologies (Euclidean MST plus shortest extra links, Inet
+preferential attachment) are dominated by degree-2 relay nodes, so every
+maximal chain of non-hot degree-2 nodes is spliced into a single weighted
+edge before Dijkstra runs.  On the Table-I instances this halves the node
+count and removes a third of the edges while distances stay exact; paths
+are re-expanded through the stored chain interiors on reconstruction.
+Contraction only engages above :data:`CONTRACT_MIN_INTERIOR` interior
+nodes -- small (typically integer-weighted, tie-heavy) graphs keep the
+exact dict-Dijkstra relaxation order, bit for bit.
+
+One FrozenOracle per :class:`~repro.core.problem.SOFInstance` is shared by
+the whole SOFDA pipeline (Procedure 1 sweeps, conflict repairs, Steiner
+closures, the baselines and the online simulator) -- the single-oracle
+invariant documented in ROADMAP.md.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Dict, Hashable, Iterable, List, Optional, Tuple
+
+from repro.graph.graph import Graph
+from repro.graph.shortest_paths import dijkstra as _dict_dijkstra
+
+Node = Hashable
+INF = float("inf")
+
+#: Minimum number of contractible (non-hot, degree-2) nodes before the
+#: oracle switches to the contracted search core.  Below this the exact
+#: dict-Dijkstra relaxation order is replicated instead, which keeps
+#: tie-breaking on small integer-weighted graphs byte-compatible.
+CONTRACT_MIN_INTERIOR = 64
+
+#: Minimum fraction of distinct edge costs for contraction to engage.
+#: Continuous (randomly drawn) costs make equal-cost shortest-path ties
+#: measure-zero, so the contracted core's different -- but equally valid --
+#: tie choices can never change a result.  Repeated-cost graphs (e.g. the
+#: online simulator's uniform floor costs) keep the replicated relaxation
+#: order instead.
+CONTRACT_MIN_DISTINCT_COSTS = 0.5
+
+
+#: How many edges the continuity probe inspects (deterministic prefix of
+#: the enumeration order) -- plenty to separate drawn-cost graphs from
+#: uniform/integer-cost ones without an O(E) scan per oracle build.
+_DISTINCT_COST_SAMPLE = 2048
+
+
+def _costs_mostly_distinct(graph: Graph) -> bool:
+    """Whether the graph's edge costs look continuously distributed."""
+    seen = set()
+    count = 0
+    for _, _, cost in graph.edges():
+        seen.add(cost)
+        count += 1
+        if count >= _DISTINCT_COST_SAMPLE:
+            break
+    return count > 0 and len(seen) >= CONTRACT_MIN_DISTINCT_COSTS * count
+
+
+class IndexedGraph:
+    """A frozen, int-indexed view of an undirected weighted graph.
+
+    Attributes:
+        nodes: intern table; ``nodes[i]`` is the original node of id ``i``.
+        index: reverse mapping ``node -> id``.
+        indptr, indices, weights: CSR adjacency -- the neighbors of node
+            ``i`` are ``indices[indptr[i]:indptr[i+1]]`` with edge costs in
+            the matching slice of ``weights``.
+    """
+
+    __slots__ = ("nodes", "index", "indptr", "indices", "weights", "_rows")
+
+    def __init__(
+        self,
+        nodes: List[Node],
+        indptr: List[int],
+        indices: List[int],
+        weights: List[float],
+    ) -> None:
+        self.nodes = nodes
+        self.index = {node: i for i, node in enumerate(nodes)}
+        self.indptr = indptr
+        self.indices = indices
+        self.weights = weights
+        # Per-node (weight, neighbor) tuples: the CSR slices pre-zipped for
+        # the Dijkstra inner loop, where tuple unpacking beats two indexed
+        # loads per edge in CPython.
+        self._rows: List[Tuple[Tuple[float, int], ...]] = [
+            tuple(zip(weights[indptr[i]:indptr[i + 1]],
+                      indices[indptr[i]:indptr[i + 1]]))
+            for i in range(len(nodes))
+        ]
+
+    @classmethod
+    def from_graph(cls, graph: Graph) -> "IndexedGraph":
+        """Intern ``graph`` preserving node and per-node neighbor order."""
+        nodes = list(graph.nodes())
+        index = {node: i for i, node in enumerate(nodes)}
+        indptr = [0]
+        indices: List[int] = []
+        weights: List[float] = []
+        for node in nodes:
+            for neighbor, cost in graph.neighbor_items(node):
+                indices.append(index[neighbor])
+                weights.append(cost)
+            indptr.append(len(indices))
+        return cls(nodes, indptr, indices, weights)
+
+    def __len__(self) -> int:
+        return len(self.nodes)
+
+    def __contains__(self, node: Node) -> bool:
+        return node in self.index
+
+    def num_edges(self) -> int:
+        """Number of undirected edges."""
+        return len(self.indices) // 2
+
+    def id_of(self, node: Node) -> int:
+        """Int id of ``node``; raises ``KeyError`` if absent."""
+        return self.index[node]
+
+    def node_of(self, node_id: int) -> Node:
+        """Original node of int id ``node_id``."""
+        return self.nodes[node_id]
+
+    def neighbor_items(self, node_id: int) -> Tuple[Tuple[float, int], ...]:
+        """``(edge_cost, neighbor_id)`` pairs of ``node_id``."""
+        return self._rows[node_id]
+
+    # ------------------------------------------------------------------
+    def dijkstra(
+        self,
+        source: int,
+        targets: Optional[Iterable[int]] = None,
+    ) -> Tuple[List[float], List[int], bytearray, bool]:
+        """Single-source Dijkstra over int ids.
+
+        Args:
+            source: start node id.
+            targets: optional ids; the search stops once all are settled.
+
+        Returns:
+            ``(dist, parent, settled, exhausted)`` -- flat lists indexed by
+            node id (``parent[i] == -1`` for the source and unreached
+            nodes), the settled flags, and whether the search ran to
+            exhaustion (i.e. the row is valid for *every* node, not just
+            the settled ones).
+        """
+        n = len(self.nodes)
+        dist = [INF] * n
+        parent = [-1] * n
+        settled = bytearray(n)
+        dist[source] = 0.0
+
+        is_target = None
+        remaining = 0
+        if targets is not None:
+            is_target = bytearray(n)
+            for t in targets:
+                if t != source and not is_target[t]:
+                    is_target[t] = 1
+                    remaining += 1
+
+        rows = self._rows
+        heap: List[Tuple[float, int, int]] = [(0.0, 0, source)]
+        counter = 1
+        push = heapq.heappush
+        pop = heapq.heappop
+        exhausted = True
+        while heap:
+            d, _, u = pop(heap)
+            if settled[u]:
+                continue
+            settled[u] = 1
+            if is_target is not None:
+                if is_target[u]:
+                    remaining -= 1
+                if remaining <= 0:
+                    # Stopped early: the last settled node's out-edges were
+                    # never relaxed, so the row is NOT valid beyond the
+                    # settled set even if the heap happens to be empty.
+                    exhausted = False
+                    break
+            for w, v in rows[u]:
+                nd = d + w
+                if nd < dist[v]:
+                    dist[v] = nd
+                    parent[v] = u
+                    push(heap, (nd, counter, v))
+                    counter += 1
+        return dist, parent, settled, exhausted
+
+
+class _ContractedCore:
+    """The degree-2-contracted search graph behind a :class:`FrozenOracle`.
+
+    Attributes:
+        nodes / index: intern table over the *core* nodes (hot nodes and
+            every node of degree != 2).
+        rows: per-core-node ``(weight, neighbor_cid)`` adjacency; parallel
+            candidates (an original edge and/or several spliced chains
+            between the same core pair) are reduced to the cheapest one.
+        meta: ``(a_cid, b_cid) -> interior node tuple`` for every kept
+            spliced edge, in a->b order (both orientations stored), used to
+            re-expand reconstructed paths.
+        chains: every discovered chain (kept or not, including self-loop
+            chains) as ``(a_cid, b_cid, interiors, prefix, total)`` where
+            ``prefix[i]`` is the along-chain distance from ``a`` to
+            ``interiors[i]`` -- enough to serve ``distances_from`` for the
+            contracted interiors exactly.
+    """
+
+    __slots__ = ("nodes", "index", "rows", "meta", "chains", "interior")
+
+    def __init__(self, graph: Graph, protected: set) -> None:
+        # The raw adjacency dicts: this is a sibling module of Graph inside
+        # the graph package, and dropping the per-edge method dispatch
+        # matters at 10k+ edges.
+        adj = graph._adj
+        is_core = {
+            node for node, neighbors in adj.items()
+            if len(neighbors) != 2 or node in protected
+        }
+        self.nodes: List[Node] = [n for n in adj if n in is_core]
+        self.index: Dict[Node, int] = {n: i for i, n in enumerate(self.nodes)}
+        self.interior: set = set()
+
+        # Candidate core-core connections: original edges first (in
+        # enumeration order), then spliced chains -- the min per pair wins,
+        # first encountered on ties, which keeps construction deterministic.
+        candidates: Dict[Tuple[int, int], Tuple[float, Tuple[Node, ...]]] = {}
+
+        def offer(a: int, b: int, weight: float, interiors: Tuple[Node, ...]) -> None:
+            key = (a, b) if a <= b else (b, a)
+            kept = candidates.get(key)
+            if kept is None or weight < kept[0]:
+                candidates[key] = (
+                    weight, interiors if key == (a, b) else tuple(reversed(interiors))
+                )
+
+        index = self.index
+        for u in self.nodes:
+            ui = index[u]
+            for v, cost in adj[u].items():
+                vi = index.get(v)
+                if vi is not None and ui < vi:
+                    offer(ui, vi, cost, ())
+
+        self.chains: List[
+            Tuple[int, int, Tuple[Node, ...], Tuple[float, ...], float]
+        ] = []
+        visited: set = set()
+        for a in self.nodes:
+            for first, w0 in adj[a].items():
+                if first in is_core or first in visited:
+                    continue
+                # Walk the chain of degree-2 interiors until a core node.
+                interiors = [first]
+                weights = [w0]
+                prev, cur = a, first
+                while True:
+                    visited.add(cur)
+                    n1, n2 = adj[cur]
+                    nxt = n2 if n1 == prev else n1
+                    weights.append(adj[cur][nxt])
+                    if nxt in is_core:
+                        b = nxt
+                        break
+                    interiors.append(nxt)
+                    prev, cur = cur, nxt
+                prefix: List[float] = []
+                acc = 0.0
+                for w in weights[:-1]:
+                    acc += w
+                    prefix.append(acc)
+                total = acc + weights[-1]
+                a_cid, b_cid = index[a], index[b]
+                self.chains.append(
+                    (a_cid, b_cid, tuple(interiors), tuple(prefix), total)
+                )
+                self.interior.update(interiors)
+                if a_cid != b_cid:  # self-loop chains never shorten paths
+                    offer(a_cid, b_cid, total, tuple(interiors))
+        # Interior cycles with no core anchor stay out of the core; slow
+        # queries about them fall back to the dict Dijkstra.
+        for node in adj:
+            if node not in is_core and node not in visited:
+                self.interior.add(node)
+
+        adjacency: List[List[Tuple[float, int]]] = [[] for _ in self.nodes]
+        self.meta: Dict[Tuple[int, int], Tuple[Node, ...]] = {}
+        for (a, b), (weight, interiors) in candidates.items():
+            adjacency[a].append((weight, b))
+            adjacency[b].append((weight, a))
+            if interiors:
+                self.meta[(a, b)] = interiors
+                self.meta[(b, a)] = tuple(reversed(interiors))
+        self.rows: List[Tuple[Tuple[float, int], ...]] = [
+            tuple(row) for row in adjacency
+        ]
+
+    def __len__(self) -> int:
+        return len(self.nodes)
+
+    def dijkstra(self, source: int) -> Tuple[List[float], List[int]]:
+        """Full single-source Dijkstra over the contracted core.
+
+        Heap entries are plain ``(dist, id)`` pairs: the contracted core
+        only engages on continuous-cost instances, where exact distance
+        ties are measure-zero, so no insertion-counter tie-break is kept.
+        """
+        n = len(self.nodes)
+        dist = [INF] * n
+        parent = [-1] * n
+        dist[source] = 0.0
+        rows = self.rows
+        heap: List[Tuple[float, int]] = [(0.0, source)]
+        push = heapq.heappush
+        pop = heapq.heappop
+        while heap:
+            d, u = pop(heap)
+            if d > dist[u]:  # stale entry: u was settled at a lower cost
+                continue
+            for w, v in rows[u]:
+                nd = d + w
+                if nd < dist[v]:
+                    dist[v] = nd
+                    parent[v] = u
+                    push(heap, (nd, v))
+        return dist, parent
+
+    def expand(self, core_path: List[int]) -> List[Node]:
+        """Re-insert chain interiors into a path of core ids."""
+        nodes = self.nodes
+        meta = self.meta
+        out: List[Node] = [nodes[core_path[0]]]
+        for a, b in zip(core_path, core_path[1:]):
+            interiors = meta.get((a, b))
+            if interiors is not None:
+                out.extend(interiors)
+            out.append(nodes[b])
+        return out
+
+
+class _Row:
+    """One cached single-source result inside :class:`FrozenOracle`."""
+
+    __slots__ = ("dist", "parent", "settled", "full")
+
+    def __init__(
+        self,
+        dist: List[float],
+        parent: List[int],
+        settled: Optional[bytearray],
+        full: bool,
+    ) -> None:
+        self.dist = dist
+        self.parent = parent
+        self.settled = settled
+        self.full = full
+
+
+class FrozenOracle:
+    """Caching shortest-path oracle with an interned fast core.
+
+    API-compatible with :class:`~repro.graph.shortest_paths.DistanceOracle`
+    (``graph``, ``distance``, ``path``, ``distances_from``, ``invalidate``).
+    On small graphs it returns bit-identical distances *and* paths, because
+    the underlying array Dijkstra replicates the dict implementation's
+    relaxation order; on large graphs (>= :data:`CONTRACT_MIN_INTERIOR`
+    contractible relay nodes) it switches to the degree-2-contracted core,
+    which keeps distances exact but may pick a different -- equally short
+    -- path when several shortest paths tie.
+
+    The ``hot`` set names the nodes a workload will query repeatedly (for a
+    SOF instance: sources, VMs and destinations).  Hot nodes are never
+    contracted away, and uncontracted rows are computed with early
+    termination once every hot node is settled.
+
+    Undirected symmetry contract: ``distance(u, v) == distance(v, u)``, and
+    the oracle is free to answer either direction from whichever row is
+    cheapest to obtain.
+    """
+
+    def __init__(self, graph: Graph, hot: Optional[Iterable[Node]] = None) -> None:
+        self._graph = graph
+        self._hot: set = set(hot) if hot is not None else set()
+        self._core: Optional[IndexedGraph] = None
+        self._contracted: Optional[_ContractedCore] = None
+        self._built = False
+        self._hot_ids: List[int] = []
+        self._rows: Dict[int, _Row] = {}
+        self._slow_rows: Dict[Node, Tuple[Dict[Node, float], Dict[Node, Node]]] = {}
+        self._queries: Dict[int, int] = {}
+        self._paths: Dict[Tuple[Node, Node], List[Node]] = {}
+
+    @property
+    def graph(self) -> Graph:
+        """The underlying graph (must not be mutated while cached)."""
+        return self._graph
+
+    def _build(self) -> None:
+        if self._built:
+            return
+        if self._hot and _costs_mostly_distinct(self._graph):
+            contracted = _ContractedCore(self._graph, self._hot)
+            if len(contracted.interior) >= CONTRACT_MIN_INTERIOR:
+                self._contracted = contracted
+        if self._contracted is None:
+            self._core = IndexedGraph.from_graph(self._graph)
+            index = self._core.index
+            self._hot_ids = [index[n] for n in self._hot if n in index]
+        self._built = True
+
+    @property
+    def core(self) -> IndexedGraph:
+        """The uncontracted interned core (built on demand)."""
+        if self._core is None:
+            self._core = IndexedGraph.from_graph(self._graph)
+            if self._contracted is None:
+                index = self._core.index
+                self._hot_ids = [index[n] for n in self._hot if n in index]
+            self._built = True
+        return self._core
+
+    @property
+    def contracted(self) -> Optional[_ContractedCore]:
+        """The contracted core, or ``None`` when contraction is inactive."""
+        self._build()
+        return self._contracted
+
+    def warm(self, nodes: Iterable[Node]) -> None:
+        """Precompute rows for ``nodes`` (one Dijkstra each, cached).
+
+        Sweeps that will query *from or to* every node of a set should
+        warm it first: afterwards any ``distance`` query touching the set
+        is served from an existing row by undirected symmetry.
+        """
+        self._build()
+        if self._contracted is not None:
+            index = self._contracted.index
+            for node in nodes:
+                cid = index.get(node)
+                if cid is not None:
+                    self._contracted_row(cid)
+            return
+        index = self.core.index
+        for node in nodes:
+            node_id = index.get(node)
+            if node_id is not None and node_id not in self._rows:
+                self._compute(node_id, None)
+
+    def extend_hot(self, nodes: Iterable[Node]) -> None:
+        """Add nodes to the hot set (affects future row computations).
+
+        If a newly hot node was contracted away, the core is rebuilt so
+        the node becomes a first-class anchor again.
+        """
+        fresh = set(nodes) - self._hot
+        if not fresh:
+            return
+        self._hot |= fresh
+        if not self._built:
+            return
+        if self._contracted is not None:
+            if any(n in self._contracted.interior for n in fresh):
+                self.invalidate()
+            return
+        index = self._core.index
+        self._hot_ids.extend(index[n] for n in fresh if n in index)
+
+    def invalidate(self) -> None:
+        """Drop all cached state (call after mutating the graph)."""
+        self._core = None
+        self._contracted = None
+        self._built = False
+        self._hot_ids = []
+        self._rows.clear()
+        self._slow_rows.clear()
+        self._queries.clear()
+        self._paths.clear()
+
+    # ------------------------------------------------------------------
+    # contracted-core machinery
+    # ------------------------------------------------------------------
+    def _slow_row(self, source: Node) -> Tuple[Dict[Node, float], Dict[Node, Node]]:
+        """Exact dict-Dijkstra row on the original graph (rare queries)."""
+        row = self._slow_rows.get(source)
+        if row is None:
+            row = _dict_dijkstra(self._graph, source)
+            self._slow_rows[source] = row
+        return row
+
+    def _contracted_row(self, cid: int) -> _Row:
+        row = self._rows.get(cid)
+        if row is None:
+            dist, parent = self._contracted.dijkstra(cid)
+            row = _Row(dist, parent, None, True)
+            self._rows[cid] = row
+        return row
+
+    # ------------------------------------------------------------------
+    # uncontracted-core machinery
+    # ------------------------------------------------------------------
+    def _compute(self, source_id: int, target_id: Optional[int]) -> _Row:
+        """Compute and cache a row, early-stopped at the hot set if any."""
+        core = self.core
+        if self._hot_ids:
+            targets = (
+                self._hot_ids if target_id is None
+                else self._hot_ids + [target_id]
+            )
+            dist, parent, settled, exhausted = core.dijkstra(source_id, targets)
+            row = _Row(dist, parent, settled, exhausted)
+        else:
+            dist, parent, settled, _ = core.dijkstra(source_id)
+            row = _Row(dist, parent, settled, True)
+        self._rows[source_id] = row
+        return row
+
+    def _row_serving(self, source_id: int, target_id: int) -> _Row:
+        """A row from ``source_id`` whose entry for ``target_id`` is final."""
+        row = self._rows.get(source_id)
+        if row is not None and (row.full or row.settled[target_id]):
+            return row
+        if row is not None:
+            # Cached but early-stopped short of the target: upgrade in full
+            # so repeated cold queries never re-run the search.
+            dist, parent, settled, _ = self.core.dijkstra(source_id)
+            row = _Row(dist, parent, settled, True)
+            self._rows[source_id] = row
+            return row
+        return self._compute(source_id, target_id)
+
+    # ------------------------------------------------------------------
+    def distance(self, source: Node, target: Node) -> float:
+        """Shortest-path cost; ``inf`` if unreachable.
+
+        The graph is undirected, so ``distance(u, v) == distance(v, u)``
+        and the answer may be served from a row rooted at either endpoint;
+        when neither endpoint has a cached row, the row is computed from
+        the endpoint more likely to be reused (hot beats cold, then the
+        historically more-queried endpoint).
+        """
+        self._build()
+        contracted = self._contracted
+        if contracted is not None:
+            index = contracted.index
+            source_id = index.get(source)
+            tid = index.get(target)
+            if source_id is None or tid is None:
+                if source not in self._graph:
+                    raise KeyError(f"source {source!r} not in graph")
+                if target not in self._graph:
+                    return INF
+                # An endpoint was contracted away (or sits on an isolated
+                # relay cycle): exact but uncached-core slow path.
+                dist, _ = self._slow_row(source)
+                return dist.get(target, INF)
+            row = self._rows.get(source_id)
+            if row is None:
+                row = self._rows.get(tid)
+                if row is not None:
+                    return row.dist[source_id]
+                row = self._contracted_row(source_id)
+            return row.dist[tid]
+
+        core = self.core
+        index = core.index
+        source_id = index[source]
+        tid = index.get(target)
+        if tid is None:
+            return INF
+        queries = self._queries
+        queries[source_id] = queries.get(source_id, 0) + 1
+        queries[tid] = queries.get(tid, 0) + 1
+        rows = self._rows
+        row = rows.get(source_id)
+        if row is not None and (row.full or row.settled[tid]):
+            return row.dist[tid]
+        rev = rows.get(tid)
+        if rev is not None and (rev.full or rev.settled[source_id]):
+            return rev.dist[source_id]
+        if row is None and rev is None:
+            # Pick the root more likely to serve future queries.
+            hot = self._hot
+            su, sv = source in hot, target in hot
+            if sv and not su:
+                source_id, tid = tid, source_id
+            elif su == sv and queries.get(tid, 0) > queries.get(source_id, 0):
+                source_id, tid = tid, source_id
+            return self._compute(source_id, tid).dist[tid]
+        return self._row_serving(source_id, tid).dist[tid]
+
+    def path(self, source: Node, target: Node) -> List[Node]:
+        """A shortest path as a node list; raises if unreachable."""
+        self._build()
+        contracted = self._contracted
+        if contracted is not None:
+            # Stroll expansions re-request the same few anchor pairs many
+            # times, so reconstructed paths are memoised.  Callers receive
+            # a fresh copy: walks get extended in place downstream.
+            cached = self._paths.get((source, target))
+            if cached is not None:
+                return list(cached)
+            index = contracted.index
+            source_id = index.get(source)
+            tid = index.get(target)
+            if source_id is None or tid is None:
+                return self._slow_path(source, target)
+            if tid == source_id:
+                return [source]
+            row = self._rows.get(source_id)
+            if row is not None:
+                if row.dist[tid] == INF:
+                    raise ValueError(f"no path from {source!r} to {target!r}")
+                out = contracted.expand(
+                    self._core_chain(row.parent, source_id, tid)
+                )
+            else:
+                rev = self._rows.get(tid)
+                if rev is not None:
+                    # Serve the reverse row's tree and flip it (symmetry).
+                    if rev.dist[source_id] == INF:
+                        raise ValueError(
+                            f"no path from {source!r} to {target!r}"
+                        )
+                    chain = self._core_chain(rev.parent, tid, source_id)
+                    chain.reverse()
+                    out = contracted.expand(chain)
+                else:
+                    row = self._contracted_row(source_id)
+                    if row.dist[tid] == INF:
+                        raise ValueError(
+                            f"no path from {source!r} to {target!r}"
+                        )
+                    out = contracted.expand(
+                        self._core_chain(row.parent, source_id, tid)
+                    )
+            self._paths[(source, target)] = out
+            return list(out)
+
+        core = self.core
+        index = core.index
+        source_id = index[source]
+        tid = index.get(target)
+        if tid is None:
+            raise ValueError(f"no path from {source!r} to {target!r}")
+        if tid == source_id:
+            return [source]
+        row = self._row_serving(source_id, tid)
+        if row.dist[tid] == INF:
+            raise ValueError(f"no path from {source!r} to {target!r}")
+        nodes = core.nodes
+        parent = row.parent
+        out = [nodes[tid]]
+        cursor = tid
+        while cursor != source_id:
+            cursor = parent[cursor]
+            out.append(nodes[cursor])
+        out.reverse()
+        return out
+
+    @staticmethod
+    def _core_chain(parent: List[int], source_id: int, tid: int) -> List[int]:
+        """Core-id path ``source_id -> tid`` from a parent array."""
+        chain = [tid]
+        cursor = tid
+        while cursor != source_id:
+            cursor = parent[cursor]
+            chain.append(cursor)
+        chain.reverse()
+        return chain
+
+    def _slow_path(self, source: Node, target: Node) -> List[Node]:
+        if target not in self._graph:
+            raise ValueError(f"no path from {source!r} to {target!r}")
+        if source == target:
+            return [source]
+        dist, parent = self._slow_row(source)
+        if target not in dist:
+            raise ValueError(f"no path from {source!r} to {target!r}")
+        out = [target]
+        while out[-1] != source:
+            out.append(parent[out[-1]])
+        out.reverse()
+        return out
+
+    def distances_from(self, source: Node) -> Dict[Node, float]:
+        """All shortest-path costs from ``source`` (a full row, cached)."""
+        self._build()
+        contracted = self._contracted
+        if contracted is not None:
+            source_id = contracted.index.get(source)
+            if source_id is None:
+                if source not in self._graph:
+                    raise KeyError(f"source {source!r} not in graph")
+                dist, _ = self._slow_row(source)
+                return dict(dist)
+            row = self._contracted_row(source_id)
+            dist = row.dist
+            out = {
+                node: d
+                for node, d in zip(contracted.nodes, dist)
+                if d != INF
+            }
+            # Expand the chain interiors: an interior is reached through
+            # whichever chain endpoint is closer along the chain.
+            for a, b, interiors, prefix, total in contracted.chains:
+                da, db = dist[a], dist[b]
+                for node, pref in zip(interiors, prefix):
+                    d = min(da + pref, db + (total - pref))
+                    if d != INF:
+                        known = out.get(node)
+                        if known is None or d < known:
+                            out[node] = d
+            return out
+
+        core = self.core
+        source_id = core.index[source]
+        row = self._rows.get(source_id)
+        if row is None or not row.full:
+            dist, parent, settled, _ = core.dijkstra(source_id)
+            row = _Row(dist, parent, settled, True)
+            self._rows[source_id] = row
+        nodes = core.nodes
+        return {
+            nodes[i]: d for i, d in enumerate(row.dist) if d != INF
+        }

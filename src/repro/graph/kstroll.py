@@ -161,16 +161,31 @@ def solve_kstroll_insertion(instance: KStrollInstance, k: int) -> Tuple[List[Nod
     s, t = instance.source, instance.target
     path = [s, t]
     remaining = set(pool)
+    cost = instance.cost
+    matrix = None if callable(cost) else cost
+    edge = instance.edge
     while len(path) < k:
         best_delta = INF
         best_node: Optional[Node] = None
         best_pos = -1
-        for node in remaining:
-            for pos in range(len(path) - 1):
-                a, b = path[pos], path[pos + 1]
-                delta = instance.edge(a, node) + instance.edge(node, b) - instance.edge(a, b)
-                if delta < best_delta:
-                    best_delta, best_node, best_pos = delta, node, pos
+        # Hoist the per-position hop costs and cost rows: they are
+        # identical for every candidate node of this round.
+        positions = range(len(path) - 1)
+        hop = [edge(path[pos], path[pos + 1]) for pos in positions]
+        if matrix is not None:
+            rows = [matrix[path[pos]] for pos in positions]
+            for node in remaining:
+                row_n = matrix[node]
+                for pos in positions:
+                    delta = rows[pos][node] + row_n[path[pos + 1]] - hop[pos]
+                    if delta < best_delta:
+                        best_delta, best_node, best_pos = delta, node, pos
+        else:
+            for node in remaining:
+                for pos in positions:
+                    delta = edge(path[pos], node) + edge(node, path[pos + 1]) - hop[pos]
+                    if delta < best_delta:
+                        best_delta, best_node, best_pos = delta, node, pos
         assert best_node is not None
         path.insert(best_pos + 1, best_node)
         remaining.discard(best_node)
@@ -189,9 +204,14 @@ def solve_kstroll_greedy(instance: KStrollInstance, k: int) -> Tuple[List[Node],
     s, t = instance.source, instance.target
     path = [s]
     remaining = set(pool)
+    cost = instance.cost
+    matrix = None if callable(cost) else cost
     while len(path) < k - 1:
         current = path[-1]
-        nxt = min(remaining, key=lambda node: instance.edge(current, node))
+        if matrix is not None:
+            nxt = min(remaining, key=matrix[current].__getitem__)
+        else:
+            nxt = min(remaining, key=lambda node: instance.edge(current, node))
         path.append(nxt)
         remaining.discard(nxt)
     path.append(t)

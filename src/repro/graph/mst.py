@@ -8,6 +8,7 @@ test suite.
 from __future__ import annotations
 
 import heapq
+from operator import itemgetter
 from typing import Hashable, List, Tuple
 
 from repro.graph.dsu import DisjointSetUnion
@@ -15,20 +16,26 @@ from repro.graph.graph import Graph
 
 Node = Hashable
 
+_EDGE_COST = itemgetter(2)
+
 
 def kruskal_mst(graph: Graph) -> Graph:
     """Minimum spanning forest via Kruskal's algorithm.
 
     Returns a new :class:`Graph` containing every node of ``graph`` and the
-    MST edges of each connected component.
+    MST edges of each connected component.  The sort is stable on the edge
+    enumeration order, so equal-cost edges are considered in a
+    deterministic order.
     """
     forest = Graph()
     for node in graph.nodes():
         forest.add_node(node)
     dsu = DisjointSetUnion(graph.nodes())
-    for u, v, cost in sorted(graph.edges(), key=lambda e: e[2]):
-        if dsu.union(u, v):
-            forest.add_edge(u, v, cost)
+    union = dsu.union
+    add_edge = forest.add_edge
+    for u, v, cost in sorted(graph.edges(), key=_EDGE_COST):
+        if union(u, v):
+            add_edge(u, v, cost)
     return forest
 
 

@@ -111,6 +111,7 @@ class DistanceOracle:
         self._graph = graph
         self._dist: Dict[Node, Dict[Node, float]] = {}
         self._parent: Dict[Node, Dict[Node, Node]] = {}
+        self._queries: Dict[Node, int] = {}
 
     @property
     def graph(self) -> Graph:
@@ -124,9 +125,28 @@ class DistanceOracle:
             self._parent[source] = parent
 
     def distance(self, source: Node, target: Node) -> float:
-        """Shortest-path cost; ``inf`` if unreachable."""
+        """Shortest-path cost; ``inf`` if unreachable.
+
+        Undirected symmetry contract: ``distance(u, v) == distance(v, u)``,
+        so the oracle may answer from a row rooted at either endpoint.  A
+        cached row always wins; when *neither* endpoint is cached, the row
+        is computed from the endpoint more likely to be reused -- the one
+        that has appeared in more ``distance`` queries so far (ties keep
+        ``source``, the historical behaviour).
+        """
+        queries = self._queries
+        queries[source] = queries.get(source, 0) + 1
+        queries[target] = queries.get(target, 0) + 1
+        cached = source in self._dist
         # Serve from the reverse direction if already cached (undirected).
-        if target in self._dist and source not in self._dist:
+        if target in self._dist and not cached:
+            return self._dist[target].get(source, INF)
+        if (
+            not cached
+            and queries[target] > queries[source]
+            and target in self._graph
+        ):
+            self._ensure(target)
             return self._dist[target].get(source, INF)
         self._ensure(source)
         return self._dist[source].get(target, INF)

@@ -24,6 +24,7 @@ from dataclasses import dataclass, field
 from typing import Dict, FrozenSet, Hashable, Iterable, List, Optional, Sequence, Tuple
 
 from repro.graph.graph import Graph, canonical_edge
+from repro.graph.indexed import FrozenOracle
 from repro.graph.mst import kruskal_mst
 from repro.graph.shortest_paths import DistanceOracle
 
@@ -50,7 +51,9 @@ def metric_closure(
     oracle: Optional[DistanceOracle] = None,
 ) -> Graph:
     """Complete graph over ``nodes`` with shortest-path distances as costs."""
-    oracle = oracle or DistanceOracle(graph)
+    # A terminal-hot FrozenOracle early-terminates each row at the last
+    # settled terminal and returns bit-identical distances/paths.
+    oracle = oracle or FrozenOracle(graph, hot=nodes)
     closure = Graph()
     node_list = list(nodes)
     for node in node_list:
@@ -94,7 +97,7 @@ def kmb_steiner_tree(
         tree = Graph()
         tree.add_node(terminal_list[0])
         return SteinerResult(tree, 0.0, frozenset(terminal_list))
-    oracle = oracle or DistanceOracle(graph)
+    oracle = oracle or FrozenOracle(graph, hot=terminal_list)
     closure = metric_closure(graph, terminal_list, oracle)
     if not closure.is_connected():
         raise ValueError("terminals are not mutually reachable")
@@ -221,7 +224,8 @@ def dreyfus_wagner_steiner_tree(
         return SteinerResult(tree, 0.0, frozenset(terminal_list))
     if k > 14:
         raise ValueError(f"Dreyfus-Wagner is impractical for {k} terminals")
-    oracle = oracle or DistanceOracle(graph)
+    # The DP probes all node pairs, so full (non-early-stopped) rows win.
+    oracle = oracle or FrozenOracle(graph)
     nodes = list(graph.nodes())
     node_index = {n: i for i, n in enumerate(nodes)}
     dist = [[oracle.distance(u, v) for v in nodes] for u in nodes]
@@ -307,6 +311,25 @@ AUTO_EXACT_MAX_TERMINALS = 6
 AUTO_EXACT_MAX_NODES = 60
 
 
+def resolve_steiner_method(
+    graph: Graph, terminals: Sequence[Node], method: str
+) -> str:
+    """Resolve ``auto`` to a concrete solver name (shared dispatch rule).
+
+    Callers that pre-select per-solver resources (e.g. SOFDA's condensed
+    auxiliary oracle, which only serves KMB's terminal queries) use this
+    so their choice can never drift from :func:`steiner_tree`'s dispatch.
+    """
+    if method != "auto":
+        return method
+    if (
+        len(set(terminals)) <= AUTO_EXACT_MAX_TERMINALS
+        and len(graph) <= AUTO_EXACT_MAX_NODES
+    ):
+        return "exact"
+    return "kmb"
+
+
 def steiner_tree(
     graph: Graph,
     terminals: Sequence[Node],
@@ -320,12 +343,7 @@ def steiner_tree(
     (<= :data:`AUTO_EXACT_MAX_TERMINALS` distinct terminals on a graph with
     <= :data:`AUTO_EXACT_MAX_NODES` nodes), KMB otherwise.
     """
-    if method == "auto":
-        distinct = len(set(terminals))
-        if distinct <= AUTO_EXACT_MAX_TERMINALS and len(graph) <= AUTO_EXACT_MAX_NODES:
-            method = "exact"
-        else:
-            method = "kmb"
+    method = resolve_steiner_method(graph, terminals, method)
     try:
         solver = _METHODS[method]
     except KeyError:

@@ -15,6 +15,7 @@ from typing import Callable, Dict, Hashable, List, Optional, Sequence
 from repro.core.forest import ServiceOverlayForest
 from repro.core.problem import SOFInstance
 from repro.costmodel import LoadTracker
+from repro.graph import FrozenOracle
 from repro.online.requests import Request
 from repro.topology.network import CloudNetwork
 
@@ -67,6 +68,12 @@ class OnlineSimulator:
                 graph.add_edge(vm, dc, cost_floor)
                 self._vms.append(vm)
         self._graph = graph
+        # The simulator owns ONE load-bearing graph and ONE shared oracle
+        # for its whole lifetime.  Requests see the live graph (embedders
+        # must not mutate it); commits update only the edges whose loads
+        # changed and invalidate the oracle only when a cost really moved.
+        self._tracker.apply_to_graph(graph, floor=cost_floor)
+        self._oracle = FrozenOracle(graph, hot=self._vms)
 
     @property
     def tracker(self) -> LoadTracker:
@@ -78,19 +85,45 @@ class OnlineSimulator:
         """The fixed VM pool (copies)."""
         return list(self._vms)
 
+    def _sync_costs(self) -> None:
+        """Fold tracker load changes into the graph; invalidate on change.
+
+        Only links whose load moved since the last sync are touched, and
+        the shared oracle keeps its cached rows across requests whenever no
+        edge cost actually changed (e.g. after a rejected request).
+        """
+        changed = False
+        for u, v in self._tracker.drain_dirty_links():
+            cost = max(self._tracker.link_cost(u, v), self._cost_floor)
+            if self._graph.cost(u, v) != cost:
+                self._graph.add_edge(u, v, cost)
+                changed = True
+        if changed:
+            self._oracle.invalidate()
+
     def current_instance(self, request: Request) -> SOFInstance:
-        """Materialise the SOF instance for ``request`` at current loads."""
-        work = self._graph.copy()
-        self._tracker.apply_to_graph(work, floor=self._cost_floor)
+        """Materialise the SOF instance for ``request`` at current loads.
+
+        The instance shares the simulator's live graph and oracle;
+        embedders must treat the graph as read-only.  Forests embedded on
+        it are therefore *views* over live costs, not snapshots: evaluate
+        ``forest.total_cost()`` before the next request is materialised
+        (as :meth:`embed` does), because later requests re-price loaded
+        edges in place.
+        """
+        self._sync_costs()
         node_costs = {vm: self._tracker.node_cost(vm) for vm in self._vms}
-        return SOFInstance(
-            graph=work,
+        instance = SOFInstance(
+            graph=self._graph,
             vms=self._vms,
             sources=request.sources,
             destinations=request.destinations,
             chain=request.chain,
             node_costs=node_costs,
         )
+        self._oracle.extend_hot(instance.sources | instance.destinations)
+        instance._oracle = self._oracle
+        return instance
 
     def commit(self, forest: ServiceOverlayForest, request: Request) -> None:
         """Account the embedded forest's bandwidth and host load."""
