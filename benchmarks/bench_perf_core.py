@@ -8,17 +8,29 @@ tracks the *repo's own* performance trajectory.  It measures:
 - ``oracle_row_ms``: one shared-oracle row on the same graph (contracted
   core + array heap);
 - ``sofda_largest_s``: a full SOFDA run on the Table-I (5000, 26) cell --
-  the acceptance metric for the indexed-core PR.
+  the acceptance metric for the indexed-core PR;
+- ``online_trace_s`` / ``online_trace_invalidate_s``: a 12-request online
+  trace (Fig.-12 style, 5000-node Inet topology) replayed through the
+  incremental ``patch_edge_costs`` path and the historical full-rebuild
+  path -- the acceptance metric for the incremental-invalidation PR;
+- ``sweep_slice_s`` / ``sweep_serial_s``: a small ``run_sweep`` slice with
+  ``workers=4`` vs serial (speedup needs a multi-core runner; single-core
+  CI only checks the outputs match).
 
 Results are appended to ``BENCH_perf_core.json`` under the ``"latest"``
 key; the checked-in ``"seed"`` entry preserves the pre-refactor numbers so
-the speedup stays visible.  The bench never fails on timings (CI runs it
-as a smoke test); it prints the measured ratios instead.
+the speedup stays visible (the online-trace and sweep seeds are the
+full-rebuild / serial timings recorded when the incremental paths landed).
+The bench never fails on timings (CI runs it as a smoke test); it prints
+the measured ratios instead.  Set ``SOF_PERF_STRICT=1`` to make the
+*correctness* anchors hard failures: the largest-cell forest cost and the
+online-trace costs must match the committed baselines.
 """
 
 from __future__ import annotations
 
 import json
+import os
 import time
 from pathlib import Path
 
@@ -26,11 +38,18 @@ from _util import shape_check
 
 from repro.core.problem import ServiceChain
 from repro.core.sofda import sofda
+from repro.experiments import run_sweep
 from repro.graph import FrozenOracle
 from repro.graph.shortest_paths import dijkstra
-from repro.topology import inet_network
+from repro.online import OnlineSimulator, RequestGenerator
+from repro.topology import inet_network, softlayer_network
 
 RESULTS_PATH = Path(__file__).resolve().parents[1] / "BENCH_perf_core.json"
+
+
+def _strict() -> bool:
+    """Whether correctness anchors are hard failures (CI perf-smoke)."""
+    return os.environ.get("SOF_PERF_STRICT", "0") == "1"
 
 
 def _largest_table1_instance():
@@ -46,8 +65,58 @@ def _largest_table1_instance():
     )
 
 
+def _run_online_trace(incremental: bool):
+    """Replay 12 SOFDA requests on a 5000-node topology.
+
+    The paper's online setup: 5 VMs per data center, so each request
+    re-sweeps a 200-VM pool over live costs -- the row-reuse case the
+    incremental patch exists for.  Topology generation and simulator
+    construction happen outside the timed window: only the request loop
+    (the part the patch-vs-invalidate choice affects) is measured.
+    Returns ``(costs, elapsed_seconds)``.
+    """
+    network = inet_network(
+        num_nodes=5000, num_links=10000, num_datacenters=40, seed=0
+    )
+    simulator = OnlineSimulator(
+        network, vms_per_datacenter=5, incremental=incremental
+    )
+    generator = RequestGenerator(
+        network, seed=0, destinations_range=(4, 5), sources_range=(2, 3)
+    )
+    requests = generator.take(12)
+    start = time.perf_counter()
+    costs = [
+        simulator.embed(request, lambda inst: sofda(inst).forest)
+        for request in requests
+    ]
+    elapsed = time.perf_counter() - start
+    rejected = [i for i, cost in enumerate(costs) if cost is None]
+    assert not rejected, (
+        f"online-trace requests {rejected} were rejected "
+        f"(incremental={incremental}); the trace must embed all 12"
+    )
+    return costs, elapsed
+
+
+def _run_sweep_slice(network, workers: int):
+    """One tracked sweep slice; returns ``(result, elapsed_seconds)``.
+
+    Large enough (12 cells, near-default instance shapes) that per-cell
+    work amortizes fork-pool startup on a multi-core runner.
+    """
+    start = time.perf_counter()
+    result = run_sweep(
+        network, "num_vms", [5, 15, 25], seeds=4,
+        overrides={"num_sources": 6, "num_destinations": 4,
+                   "chain_length": 3},
+        workers=workers,
+    )
+    return result, time.perf_counter() - start
+
+
 def run_perf_core() -> dict:
-    """Measure the three core timings; returns a plain dict."""
+    """Measure the tracked core timings; returns a plain dict."""
     instance = _largest_table1_instance()
     graph = instance.graph
     sources = sorted(instance.sources, key=repr)[:8]
@@ -74,11 +143,31 @@ def run_perf_core() -> dict:
         result = sofda(fresh)
         sofda_s = min(sofda_s, time.perf_counter() - start)
 
+    rebuild_costs, trace_invalidate_s = _run_online_trace(incremental=False)
+    patch_costs, trace_patch_s = _run_online_trace(incremental=True)
+
+    sweep_network = softlayer_network(seed=1)
+    sweep_serial, sweep_serial_s = _run_sweep_slice(sweep_network, workers=1)
+    sweep_pooled, sweep_pooled_s = _run_sweep_slice(sweep_network, workers=4)
+
     return {
         "dict_dijkstra_ms": round(dict_ms, 3),
         "oracle_row_ms": round(row_ms, 3),
         "sofda_largest_s": round(sofda_s, 4),
         "sofda_largest_cost": result.cost,
+        "online_trace_s": round(trace_patch_s, 4),
+        "online_trace_invalidate_s": round(trace_invalidate_s, 4),
+        "online_trace_cost": sum(patch_costs),
+        "online_trace_rebuild_cost": sum(rebuild_costs),
+        "online_trace_max_request_drift": max(
+            abs(a - b) for a, b in zip(patch_costs, rebuild_costs)
+        ),
+        "sweep_slice_s": round(sweep_pooled_s, 4),
+        "sweep_serial_s": round(sweep_serial_s, 4),
+        "sweep_outputs_match": (
+            sweep_pooled.mean_cost == sweep_serial.mean_cost
+            and sweep_pooled.mean_vms_used == sweep_serial.mean_vms_used
+        ),
     }
 
 
@@ -93,21 +182,60 @@ def test_perf_core(once):
 
     seed = record.get("seed", {})
     print("\nPerf core -- seed vs latest")
-    for key in ("dict_dijkstra_ms", "oracle_row_ms", "sofda_largest_s"):
+    for key in ("dict_dijkstra_ms", "oracle_row_ms", "sofda_largest_s",
+                "online_trace_s", "sweep_slice_s"):
         before = seed.get(key)
         after = measured[key]
         ratio = f"  ({before / after:.2f}x)" if before else ""
         print(f"  {key:>18}: {before} -> {after}{ratio}")
+    print(
+        f"  online trace: invalidate {measured['online_trace_invalidate_s']}s"
+        f" -> patch {measured['online_trace_s']}s"
+        f" ({measured['online_trace_invalidate_s'] / measured['online_trace_s']:.2f}x)"
+    )
+    print(
+        f"  sweep slice: serial {measured['sweep_serial_s']}s"
+        f" -> workers=4 {measured['sweep_slice_s']}s"
+        f" ({measured['sweep_serial_s'] / measured['sweep_slice_s']:.2f}x,"
+        " needs a multi-core runner)"
+    )
 
-    shape_check(
-        "forest cost unchanged on the seeded largest cell",
+    # Correctness anchors -- hard failures under SOF_PERF_STRICT=1.
+    cost_ok = (
         seed.get("sofda_largest_cost") is None
         # Hash-ordered summation wobbles the last ulp (seed does too).
         or abs(measured["sofda_largest_cost"] - seed["sofda_largest_cost"])
-        <= 1e-9,
+        <= 1e-9
     )
+    trace_ok = measured["online_trace_max_request_drift"] <= 1e-9
+    trace_baseline_ok = (
+        seed.get("online_trace_cost") is None
+        or abs(measured["online_trace_cost"] - seed["online_trace_cost"])
+        <= 1e-6
+    )
+    if _strict():
+        assert cost_ok, "largest-cell forest cost drifted from the baseline"
+        assert trace_ok, "patched online trace diverged from full rebuild"
+        assert trace_baseline_ok, "online-trace cost drifted from the baseline"
+        assert measured["sweep_outputs_match"], "pooled sweep != serial sweep"
+    shape_check("forest cost unchanged on the seeded largest cell", cost_ok)
     shape_check(
         "largest Table-I cell at least 3x faster than seed",
         not seed.get("sofda_largest_s")
         or measured["sofda_largest_s"] * 3 <= seed["sofda_largest_s"],
+    )
+    shape_check("online trace: patch == rebuild, bit-identical forests",
+                trace_ok)
+    shape_check("online trace cost matches committed baseline",
+                trace_baseline_ok)
+    shape_check(
+        "online trace at least 2x faster than the full-invalidate path",
+        measured["online_trace_s"] * 2
+        <= measured["online_trace_invalidate_s"],
+    )
+    shape_check("pooled sweep output identical to serial",
+                measured["sweep_outputs_match"])
+    shape_check(
+        "pooled sweep at least 2x faster than serial (multi-core runners)",
+        measured["sweep_slice_s"] * 2 <= measured["sweep_serial_s"],
     )

@@ -379,7 +379,14 @@ def reroute_congested_link(
     if not instance.graph.has_edge(u, v):
         raise DynamicError(f"({u!r}, {v!r}) is not a link")
     graph = instance.graph.copy()
-    graph.add_edge(u, v, new_cost)
+    if instance._oracle is not None:
+        # Only the one link's cost changes, so the new instance's oracle
+        # is the old one rebased onto the copy (patched weights + every
+        # cached row the change cannot affect) instead of a cold rebuild.
+        new_oracle = instance._oracle.rebased(graph, {(u, v): new_cost})
+    else:
+        graph.add_edge(u, v, new_cost)
+        new_oracle = None
     new_instance = SOFInstance(
         graph=graph,
         vms=instance.vms,
@@ -389,6 +396,7 @@ def reroute_congested_link(
         node_costs=instance.node_costs,
         source_costs=instance.source_costs,
     )
+    new_instance._oracle = new_oracle
     oracle = new_instance.oracle
     bad = canonical_edge(u, v)
 

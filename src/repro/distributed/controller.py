@@ -5,14 +5,19 @@ routers (nodes with an inter-domain link) and the local distance matrix
 between border routers -- the abstraction the paper's Section VI has each
 controller compute "over the Southbound interface within its domain" and
 propagate east--west.
+
+Intra-domain shortest paths are served by one per-domain
+:class:`~repro.graph.FrozenOracle` (hot at the border routers, the nodes
+every abstraction query touches) -- the domain-scoped analogue of the
+single-oracle invariant the centralized pipeline follows.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Hashable, List, Set, Tuple
+from typing import Dict, Hashable, List, Optional, Set, Tuple
 
-from repro.graph import Graph, dijkstra
+from repro.graph import FrozenOracle, Graph
 
 Node = Hashable
 INF = float("inf")
@@ -26,7 +31,9 @@ class Controller:
     domain: Set[Node]
     local_graph: Graph
     border_routers: List[Node] = field(default_factory=list)
+    #: Materialised oracle rows, keyed by source node.
     _local_dist: Dict[Node, Dict[Node, float]] = field(default_factory=dict, repr=False)
+    _oracle: Optional[FrozenOracle] = field(default=None, repr=False)
 
     @classmethod
     def for_domain(
@@ -53,11 +60,24 @@ class Controller:
         """Whether this controller's domain contains ``node``."""
         return node in self.domain
 
+    @property
+    def oracle(self) -> FrozenOracle:
+        """The per-domain distance oracle over the induced subgraph (lazy).
+
+        One oracle serves every intra-domain query this controller answers
+        (border matrices, node-to-border distances, verification samples);
+        no component may build a second oracle over the same domain.
+        """
+        if self._oracle is None:
+            self._oracle = FrozenOracle(
+                self.local_graph, hot=self.border_routers
+            )
+        return self._oracle
+
     def local_distances_from(self, node: Node) -> Dict[Node, float]:
-        """Intra-domain shortest-path costs from ``node`` (cached)."""
+        """Intra-domain shortest-path costs from ``node`` (an oracle row)."""
         if node not in self._local_dist:
-            dist, _ = dijkstra(self.local_graph, node)
-            self._local_dist[node] = dist
+            self._local_dist[node] = self.oracle.distances_from(node)
         return self._local_dist[node]
 
     def border_matrix(self) -> Dict[Tuple[Node, Node], float]:

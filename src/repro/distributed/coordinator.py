@@ -185,26 +185,16 @@ class DistributedSOFDA:
         )
 
     # ------------------------------------------------------------------
-    def verify_abstraction(self, samples: int = 50, seed: int = 0) -> bool:
-        """Check the border abstraction is lossless on sampled node pairs.
+    def abstract_border_graph(self):
+        """The inter-domain abstraction: border matrices + physical links.
 
-        For random pairs (s, t), compare the true shortest-path cost with
-        the composed estimate: intra-domain when co-located, otherwise
-        ``min over borders (local(s,b1) + inter(b1,b2) + local(b2,t))``
-        where ``inter`` runs over the abstract border graph.  Used by the
-        test suite; returns True when every sample matches.
+        Nodes are border routers; edges are the abstracted intra-domain
+        lengths each controller propagated plus the physical inter-domain
+        links, parallel candidates reduced to the cheapest.
         """
-        import random
-
         from repro.graph import Graph as _Graph
-        from repro.graph import dijkstra as _dijkstra
 
         instance = self.instance
-        rng = random.Random(seed)
-        nodes = sorted(instance.graph.nodes(), key=repr)
-
-        # Build the abstract border graph: border matrices + inter-domain
-        # physical links.
         abstract = _Graph()
         for c in self.controllers:
             for (b1, b2), d in c.border_matrix().items():
@@ -218,11 +208,35 @@ class DistributedSOFDA:
                 if abstract.has_edge(u, v):
                     cost = min(cost, abstract.cost(u, v))
                 abstract.add_edge(u, v, cost)
+        return abstract
+
+    def verify_abstraction(self, samples: int = 50, seed: int = 0) -> bool:
+        """Check the border abstraction is lossless on sampled node pairs.
+
+        For random pairs (s, t), compare the true shortest-path cost with
+        the composed estimate: intra-domain when co-located, otherwise
+        ``min over borders (local(s,b1) + inter(b1,b2) + local(b2,t))``
+        where ``inter`` runs over the abstract border graph.  Every
+        distance is served from oracle rows: ground truth from the
+        instance's shared oracle, intra-domain legs from the per-domain
+        controller oracles, and the abstract-graph legs from one oracle
+        over the border graph.  Used by the test suite; returns True when
+        every sample matches.
+        """
+        import random
+
+        from repro.graph import FrozenOracle as _FrozenOracle
+
+        instance = self.instance
+        rng = random.Random(seed)
+        nodes = sorted(instance.graph.nodes(), key=repr)
+
+        abstract = self.abstract_border_graph()
+        abstract_oracle = _FrozenOracle(abstract)
 
         for _ in range(samples):
             s, t = rng.sample(nodes, 2)
-            true_dist, _ = _dijkstra(instance.graph, s, targets={t})
-            truth = true_dist.get(t, float("inf"))
+            truth = instance.oracle.distance(s, t)
             cs, ct = self.controller_of(s), self.controller_of(t)
             best = float("inf")
             if cs.controller_id == ct.controller_id:
@@ -233,7 +247,7 @@ class DistributedSOFDA:
                 for b1, d1 in s_border.items():
                     if d1 == float("inf") or b1 not in abstract:
                         continue
-                    inter, _ = _dijkstra(abstract, b1)
+                    inter = abstract_oracle.distances_from(b1)
                     for b2, d2 in t_border.items():
                         if d2 == float("inf"):
                             continue

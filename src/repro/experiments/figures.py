@@ -29,6 +29,7 @@ def _four_panel(
     overrides: Optional[Dict[str, int]] = None,
     sweeps: Optional[Dict[str, Sequence[int]]] = None,
     ilp_time_limit: float = 120.0,
+    workers: int = 1,
 ) -> Dict[str, SweepResult]:
     algorithms = default_algorithms(
         include_ilp=include_ilp, ilp_time_limit=ilp_time_limit
@@ -38,6 +39,7 @@ def _four_panel(
         parameter: run_sweep(
             network, parameter, values,
             algorithms=algorithms, seeds=seeds, overrides=overrides,
+            workers=workers,
         )
         for parameter, values in sweeps.items()
     }
@@ -50,15 +52,18 @@ def fig8_softlayer(
     sweeps: Optional[Dict[str, Sequence[int]]] = None,
     topology_seed: int = 1,
     ilp_time_limit: float = 120.0,
+    workers: int = 1,
 ) -> Dict[str, SweepResult]:
     """Fig. 8: the four sweeps on SoftLayer, including the CPLEX optimum.
 
     ``ilp_time_limit`` caps each HiGHS solve; past it the incumbent is
     plotted (as the paper does with CPLEX on hard instances).
+    ``workers`` farms the sweep cells to a process pool (see
+    :func:`~repro.experiments.harness.run_sweep`).
     """
     return _four_panel(
         softlayer_network(seed=topology_seed), seeds, include_ilp, overrides,
-        sweeps, ilp_time_limit=ilp_time_limit,
+        sweeps, ilp_time_limit=ilp_time_limit, workers=workers,
     )
 
 
@@ -67,10 +72,12 @@ def fig9_cogent(
     overrides: Optional[Dict[str, int]] = None,
     sweeps: Optional[Dict[str, Sequence[int]]] = None,
     topology_seed: int = 1,
+    workers: int = 1,
 ) -> Dict[str, SweepResult]:
     """Fig. 9: the four sweeps on Cogent (no CPLEX -- too large)."""
     return _four_panel(
-        cogent_network(seed=topology_seed), seeds, False, overrides, sweeps
+        cogent_network(seed=topology_seed), seeds, False, overrides, sweeps,
+        workers=workers,
     )
 
 
@@ -82,6 +89,7 @@ def fig10_inet(
     overrides: Optional[Dict[str, int]] = None,
     sweeps: Optional[Dict[str, Sequence[int]]] = None,
     topology_seed: int = 1,
+    workers: int = 1,
 ) -> Dict[str, SweepResult]:
     """Fig. 10: the four sweeps on the Inet-style synthetic topology.
 
@@ -95,7 +103,7 @@ def fig10_inet(
         num_datacenters=num_datacenters,
         seed=topology_seed,
     )
-    return _four_panel(network, seeds, False, overrides, sweeps)
+    return _four_panel(network, seeds, False, overrides, sweeps, workers=workers)
 
 
 def fig11_setup_cost(
@@ -104,6 +112,7 @@ def fig11_setup_cost(
     chain_lengths: Sequence[int] = (3, 4, 5, 6, 7),
     overrides: Optional[Dict[str, int]] = None,
     topology_seed: int = 1,
+    workers: int = 1,
 ) -> Dict[str, Dict[int, List[float]]]:
     """Fig. 11: SOFDA's cost (a) and used-VM count (b) vs setup-cost multiple.
 
@@ -127,6 +136,7 @@ def fig11_setup_cost(
                 seeds=seeds,
                 setup_cost_multiplier=float(multiple),
                 overrides=merged_overrides,
+                workers=workers,
             )
             cost[length].append(sweep.mean_cost["SOFDA"][0])
             vms[length].append(sweep.mean_vms_used["SOFDA"][0])

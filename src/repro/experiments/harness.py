@@ -5,14 +5,21 @@ parameter, one curve per algorithm, other parameters at their defaults".
 :func:`run_sweep` materialises that directly: for each swept value it
 draws ``seeds`` instances from the topology, runs every algorithm, and
 averages costs.
+
+``run_sweep(workers=N)`` farms the independent (parameter-value, seed)
+cells to a fork-based process pool: every cell builds its own instance
+from the same seeds, so the per-cell computation is identical to the
+serial path and the ordered merge makes the output deterministic --
+only the measured runtimes reflect the parallel wall clock.
 """
 
 from __future__ import annotations
 
+import multiprocessing
 import statistics
 import time
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Sequence
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.baselines import enemp_baseline, est_baseline, st_baseline
 from repro.core.forest import ServiceOverlayForest
@@ -79,6 +86,57 @@ class SweepResult:
         return out
 
 
+#: Shared state for sweep cells.  Populated in the parent before the
+#: fork-based pool is created, so workers inherit it by memory copy --
+#: no pickling of the network or the (often lambda) embedders involved.
+_SWEEP_STATE: Dict[str, object] = {}
+
+
+def _sweep_cell(cell: Tuple[Dict[str, int], int]) -> Dict[str, Tuple[float, int, float]]:
+    """Run every algorithm on one (config, seed) cell.
+
+    Each cell builds its own instance, so cells are independent and the
+    result is a pure function of ``(network, config, seed, algorithms)``
+    -- identical whether evaluated serially or in a pool worker.
+    """
+    config, seed = cell
+    state = _SWEEP_STATE
+    network: CloudNetwork = state["network"]
+    algorithms: Dict[str, Embedder] = state["algorithms"]
+    instance = network.make_instance(
+        num_sources=config["num_sources"],
+        num_destinations=config["num_destinations"],
+        num_vms=config["num_vms"],
+        chain=ServiceChain.of_length(config["chain_length"]),
+        seed=seed * 7919,
+        setup_cost_multiplier=state["setup_cost_multiplier"],
+        link_capacity=state["link_capacity"],
+        vm_capacity=state["vm_capacity"],
+    )
+    out: Dict[str, Tuple[float, int, float]] = {}
+    for name, embedder in algorithms.items():
+        start = time.perf_counter()
+        forest = embedder(instance)
+        elapsed = time.perf_counter() - start
+        out[name] = (forest.total_cost(), len(forest.used_vms()), elapsed)
+    return out
+
+
+def _map_cells(
+    cells: List[Tuple[Dict[str, int], int]], workers: int
+) -> List[Dict[str, Tuple[float, int, float]]]:
+    """Evaluate cells, optionally on a fork pool; order is preserved."""
+    if (
+        workers > 1
+        and len(cells) > 1
+        and "fork" in multiprocessing.get_all_start_methods()
+    ):
+        context = multiprocessing.get_context("fork")
+        with context.Pool(processes=min(workers, len(cells))) as pool:
+            return pool.map(_sweep_cell, cells, chunksize=1)
+    return [_sweep_cell(cell) for cell in cells]
+
+
 def run_sweep(
     network: CloudNetwork,
     parameter: str,
@@ -89,12 +147,19 @@ def run_sweep(
     overrides: Optional[Dict[str, int]] = None,
     link_capacity: float = 1.0,
     vm_capacity: float = 1.0,
+    workers: int = 1,
 ) -> SweepResult:
     """Sweep ``parameter`` over ``values`` with everything else at defaults.
 
     ``overrides`` adjusts the non-swept defaults (e.g. smaller defaults for
     quick CI benches).  Costs use unit capacities, matching the
     shape-normalised setting discussed in DESIGN.md.
+
+    ``workers > 1`` evaluates the (value, seed) cells on a fork-based
+    process pool; the merge runs in cell order, so costs and VM counts are
+    bit-identical to the serial run (only the measured runtimes differ --
+    they report each cell's own wall clock).  Platforms without the fork
+    start method fall back to serial evaluation.
     """
     if parameter not in DEFAULTS:
         raise ValueError(
@@ -110,31 +175,35 @@ def run_sweep(
     base = dict(DEFAULTS)
     if overrides:
         base.update(overrides)
+    cells: List[Tuple[Dict[str, int], int]] = []
     for value in values:
         config = dict(base)
         config[parameter] = int(value)
-        per_algo_cost: Dict[str, List[float]] = {n: [] for n in algorithms}
-        per_algo_vms: Dict[str, List[float]] = {n: [] for n in algorithms}
-        per_algo_time: Dict[str, List[float]] = {n: [] for n in algorithms}
         for seed in range(seeds):
-            instance = network.make_instance(
-                num_sources=config["num_sources"],
-                num_destinations=config["num_destinations"],
-                num_vms=config["num_vms"],
-                chain=ServiceChain.of_length(config["chain_length"]),
-                seed=seed * 7919,
-                setup_cost_multiplier=setup_cost_multiplier,
-                link_capacity=link_capacity,
-                vm_capacity=vm_capacity,
-            )
-            for name, embedder in algorithms.items():
-                start = time.perf_counter()
-                forest = embedder(instance)
-                per_algo_time[name].append(time.perf_counter() - start)
-                per_algo_cost[name].append(forest.total_cost())
-                per_algo_vms[name].append(len(forest.used_vms()))
+            cells.append((config, seed))
+
+    _SWEEP_STATE.update(
+        network=network,
+        algorithms=algorithms,
+        setup_cost_multiplier=setup_cost_multiplier,
+        link_capacity=link_capacity,
+        vm_capacity=vm_capacity,
+    )
+    try:
+        cell_results = _map_cells(cells, workers)
+    finally:
+        _SWEEP_STATE.clear()
+
+    for value_index in range(len(values)):
+        block = cell_results[value_index * seeds:(value_index + 1) * seeds]
         for name in algorithms:
-            result.mean_cost[name].append(statistics.mean(per_algo_cost[name]))
-            result.mean_vms_used[name].append(statistics.mean(per_algo_vms[name]))
-            result.mean_runtime_s[name].append(statistics.mean(per_algo_time[name]))
+            result.mean_cost[name].append(
+                statistics.mean(r[name][0] for r in block)
+            )
+            result.mean_vms_used[name].append(
+                statistics.mean(r[name][1] for r in block)
+            )
+            result.mean_runtime_s[name].append(
+                statistics.mean(r[name][2] for r in block)
+            )
     return result

@@ -41,7 +41,7 @@ invariant documented in ROADMAP.md.
 from __future__ import annotations
 
 import heapq
-from typing import Dict, Hashable, Iterable, List, Optional, Tuple
+from typing import Dict, FrozenSet, Hashable, Iterable, List, Mapping, Optional, Tuple
 
 from repro.graph.graph import Graph
 from repro.graph.shortest_paths import dijkstra as _dict_dijkstra
@@ -153,6 +153,48 @@ class IndexedGraph:
         """``(edge_cost, neighbor_id)`` pairs of ``node_id``."""
         return self._rows[node_id]
 
+    def patch_edges(self, updates: Iterable[Tuple[int, int, float]]) -> None:
+        """Overwrite edge *costs* in place; the topology must not change.
+
+        ``updates`` holds ``(u_id, v_id, new_cost)`` triples for existing
+        edges.  Both CSR directions and the pre-zipped Dijkstra rows of the
+        touched endpoints are refreshed.
+        """
+        indptr, indices, weights = self.indptr, self.indices, self.weights
+        touched = set()
+        for u, v, cost in updates:
+            for a, b in ((u, v), (v, u)):
+                for pos in range(indptr[a], indptr[a + 1]):
+                    if indices[pos] == b:
+                        weights[pos] = cost
+                        break
+                else:
+                    raise KeyError(f"no edge between ids {u} and {v}")
+            touched.add(u)
+            touched.add(v)
+        for node in touched:
+            self._rows[node] = tuple(
+                zip(weights[indptr[node]:indptr[node + 1]],
+                    indices[indptr[node]:indptr[node + 1]])
+            )
+
+    def clone(self) -> "IndexedGraph":
+        """A patchable copy sharing the frozen topology arrays.
+
+        The intern table and CSR structure (``nodes``/``index``/``indptr``/
+        ``indices``) are shared -- they only depend on the topology -- while
+        ``weights`` and the per-node rows are copied so :meth:`patch_edges`
+        on the clone leaves the original untouched.
+        """
+        dup = object.__new__(IndexedGraph)
+        dup.nodes = self.nodes
+        dup.index = self.index
+        dup.indptr = self.indptr
+        dup.indices = self.indices
+        dup.weights = list(self.weights)
+        dup._rows = list(self._rows)
+        return dup
+
     # ------------------------------------------------------------------
     def dijkstra(
         self,
@@ -234,9 +276,26 @@ class _ContractedCore:
             ``prefix[i]`` is the along-chain distance from ``a`` to
             ``interiors[i]`` -- enough to serve ``distances_from`` for the
             contracted interiors exactly.
+        chain_weights: the original per-edge weights of every chain, in
+            walk order -- ``prefix``/``total`` are recomputed from these
+            when an interior edge cost is patched.
+        pair_direct: ``pairkey -> cost`` of the original core-core edges.
+        chain_by_pair: ``pairkey -> chain indices`` connecting that pair,
+            in discovery order -- together with ``pair_direct`` the full
+            candidate set per pair, so the kept minimum can be re-decided
+            after a cost patch.
+        edge_loc: original edge (as a node frozenset) -> where it lives in
+            the core: ``("d", pairkey)`` for direct core-core edges,
+            ``("c", chain_index, position)`` for chain edges.  Edges on
+            isolated relay cycles are absent (they never touch the core).
+            Purely topological and only needed by patching, so it is built
+            lazily on first use (``None`` until then).
     """
 
-    __slots__ = ("nodes", "index", "rows", "meta", "chains", "interior")
+    __slots__ = (
+        "nodes", "index", "rows", "meta", "chains", "interior",
+        "chain_weights", "pair_direct", "chain_by_pair", "edge_loc",
+    )
 
     def __init__(self, graph: Graph, protected: set) -> None:
         # The raw adjacency dicts: this is a sibling module of Graph inside
@@ -264,6 +323,12 @@ class _ContractedCore:
                     weight, interiors if key == (a, b) else tuple(reversed(interiors))
                 )
 
+        self.pair_direct: Dict[Tuple[int, int], float] = {}
+        self.chain_by_pair: Dict[Tuple[int, int], List[int]] = {}
+        # Edge -> core-location map; pure topology, so built lazily by the
+        # first patch (one-shot pipelines never pay for it).
+        self.edge_loc: Optional[Dict[FrozenSet[Node], Tuple]] = None
+
         index = self.index
         for u in self.nodes:
             ui = index[u]
@@ -271,10 +336,12 @@ class _ContractedCore:
                 vi = index.get(v)
                 if vi is not None and ui < vi:
                     offer(ui, vi, cost, ())
+                    self.pair_direct[(ui, vi)] = cost
 
         self.chains: List[
             Tuple[int, int, Tuple[Node, ...], Tuple[float, ...], float]
         ] = []
+        self.chain_weights: List[List[float]] = []
         visited: set = set()
         for a in self.nodes:
             for first, w0 in adj[a].items():
@@ -301,12 +368,16 @@ class _ContractedCore:
                     prefix.append(acc)
                 total = acc + weights[-1]
                 a_cid, b_cid = index[a], index[b]
+                chain_index = len(self.chains)
                 self.chains.append(
                     (a_cid, b_cid, tuple(interiors), tuple(prefix), total)
                 )
+                self.chain_weights.append(weights)
                 self.interior.update(interiors)
                 if a_cid != b_cid:  # self-loop chains never shorten paths
                     offer(a_cid, b_cid, total, tuple(interiors))
+                    key = (a_cid, b_cid) if a_cid <= b_cid else (b_cid, a_cid)
+                    self.chain_by_pair.setdefault(key, []).append(chain_index)
         # Interior cycles with no core anchor stay out of the core; slow
         # queries about them fall back to the dict Dijkstra.
         for node in adj:
@@ -367,11 +438,298 @@ class _ContractedCore:
             out.append(nodes[b])
         return out
 
+    # ------------------------------------------------------------------
+    # incremental cost patching
+    # ------------------------------------------------------------------
+    def _ensure_edge_loc(self) -> Dict[FrozenSet[Node], Tuple]:
+        """Build (once) the original-edge -> core-location map.
+
+        ``("d", pairkey)`` for direct core-core edges, ``("c",
+        chain_index, position)`` for chain edges; isolated relay-cycle
+        edges stay absent.  Purely topological, so it is derived from the
+        candidate bookkeeping on first use and shared by clones.
+        """
+        if self.edge_loc is None:
+            nodes = self.nodes
+            loc: Dict[FrozenSet[Node], Tuple] = {}
+            for key in self.pair_direct:
+                loc[frozenset((nodes[key[0]], nodes[key[1]]))] = ("d", key)
+            for chain_index, (a_cid, b_cid, interiors, _, _) in enumerate(
+                self.chains
+            ):
+                walk = [nodes[a_cid], *interiors, nodes[b_cid]]
+                for pos, (x, y) in enumerate(zip(walk, walk[1:])):
+                    loc[frozenset((x, y))] = ("c", chain_index, pos)
+            self.edge_loc = loc
+        return self.edge_loc
+
+    def _kept_weight(self, key: Tuple[int, int]) -> float:
+        """The currently kept core-edge weight of a candidate pair."""
+        a, b = key
+        for w, nb in self.rows[a]:
+            if nb == b:
+                return w
+        raise KeyError(f"core pair {key} has no kept edge")
+
+    def _recompute_kept(
+        self, key: Tuple[int, int]
+    ) -> Tuple[float, Tuple[Node, ...]]:
+        """Re-decide the kept candidate of a pair after a cost change.
+
+        Candidates are evaluated in construction order (the direct edge,
+        then chains in discovery order) with a strict minimum, replicating
+        the constructor's first-encountered-wins tie-break.
+        """
+        best = self.pair_direct.get(key, INF)
+        best_interiors: Tuple[Node, ...] = ()
+        for chain_index in self.chain_by_pair.get(key, ()):
+            a_cid, _, interiors, _, total = self.chains[chain_index]
+            if total < best:
+                best = total
+                best_interiors = (
+                    interiors if a_cid == key[0] else tuple(reversed(interiors))
+                )
+        return best, best_interiors
+
+    def _set_row_weight(self, a: int, b: int, weight: float) -> None:
+        self.rows[a] = tuple(
+            (weight, nb) if nb == b else (w, nb) for w, nb in self.rows[a]
+        )
+
+    def patch_edges(
+        self, changes: Iterable[Tuple[Node, Node, float]]
+    ) -> List[Tuple[int, int, float, float]]:
+        """Apply original-edge cost updates to the contracted structures.
+
+        Chain prefix sums and totals are recomputed from the stored
+        per-edge weights, and for every core pair one of the changed edges
+        participates in, the kept candidate is re-decided in construction
+        order.  Returns ``(a_cid, b_cid, old_kept, new_kept)`` per affected
+        pair, for the caller's row-cache eviction.
+        """
+        edge_loc = self._ensure_edge_loc()
+        affected: Dict[Tuple[int, int], float] = {}
+        for u, v, cost in changes:
+            loc = edge_loc.get(frozenset((u, v)))
+            if loc is None:
+                continue  # an isolated relay-cycle edge: slow path only
+            if loc[0] == "d":
+                key = loc[1]
+                if key not in affected:
+                    affected[key] = self._kept_weight(key)
+                self.pair_direct[key] = cost
+            else:
+                chain_index, pos = loc[1], loc[2]
+                weights = self.chain_weights[chain_index]
+                weights[pos] = cost
+                a_cid, b_cid, interiors, _, _ = self.chains[chain_index]
+                prefix: List[float] = []
+                acc = 0.0
+                for w in weights[:-1]:
+                    acc += w
+                    prefix.append(acc)
+                self.chains[chain_index] = (
+                    a_cid, b_cid, interiors, tuple(prefix), acc + weights[-1]
+                )
+                if a_cid != b_cid:
+                    key = (a_cid, b_cid) if a_cid <= b_cid else (b_cid, a_cid)
+                    if key not in affected:
+                        affected[key] = self._kept_weight(key)
+        out: List[Tuple[int, int, float, float]] = []
+        for key, old_weight in affected.items():
+            a, b = key
+            new_weight, interiors = self._recompute_kept(key)
+            if new_weight != old_weight:
+                self._set_row_weight(a, b, new_weight)
+                self._set_row_weight(b, a, new_weight)
+            # The winning candidate may switch even on equal weight (the
+            # direct edge wins ties); refresh the expansion map either way.
+            if interiors:
+                self.meta[(a, b)] = interiors
+                self.meta[(b, a)] = tuple(reversed(interiors))
+            else:
+                self.meta.pop((a, b), None)
+                self.meta.pop((b, a), None)
+            out.append((a, b, old_weight, new_weight))
+        return out
+
+    def clone(self) -> "_ContractedCore":
+        """A patchable copy sharing every topology-only structure."""
+        self._ensure_edge_loc()  # build once here, share with every clone
+        dup = object.__new__(_ContractedCore)
+        dup.nodes = self.nodes
+        dup.index = self.index
+        dup.interior = self.interior
+        dup.rows = list(self.rows)
+        dup.meta = dict(self.meta)
+        dup.chains = list(self.chains)
+        dup.chain_weights = [list(w) for w in self.chain_weights]
+        dup.pair_direct = dict(self.pair_direct)
+        dup.chain_by_pair = self.chain_by_pair
+        dup.edge_loc = self.edge_loc
+        return dup
+
+
+def _repair_row(
+    adjacency: List[Tuple[Tuple[float, int], ...]],
+    row: "_Row",
+    increases: List[Tuple[int, int]],
+    decreases: List[Tuple[int, int, float]],
+) -> bool:
+    """Repair one cached row in place after a batch of edge-cost changes.
+
+    ``adjacency`` must already carry the *new* weights.  Returns ``False``
+    when the row cannot be repaired (it must be evicted), ``True`` when its
+    distances are exact again.
+
+    Increases follow Ramalingam--Reps: only descendants of a detached tree
+    edge can change, so exactly that region -- found by walking the row's
+    lazily-built (and then maintained) children lists -- is recomputed
+    from its boundary of intact nodes.  On early-stopped rows, a repaired
+    node whose new distance exceeds the original settle cutoff is demoted
+    to unsettled (its true distance could route through never-settled
+    territory, whose labels are mere upper bounds); conversely a repaired
+    node back under the cutoff is provably exact, since every path through
+    never-settled territory costs at least the cutoff.  Decreases
+    propagate improvements outward on full rows; early-stopped rows
+    survive a decrease only when it provably cannot improve any label
+    (both endpoints settled, no slack).
+    """
+    dist = row.dist
+    parent = row.parent
+    settled = row.settled
+    full = row.full
+
+    if decreases:
+        if full:
+            heap: List[Tuple[float, int]] = []
+            push = heapq.heappush
+            pop = heapq.heappop
+            for a, b, w in decreases:
+                if dist[a] + w < dist[b]:
+                    dist[b] = dist[a] + w
+                    parent[b] = a
+                    push(heap, (dist[b], b))
+                elif dist[b] + w < dist[a]:
+                    dist[a] = dist[b] + w
+                    parent[a] = b
+                    push(heap, (dist[a], a))
+            if heap:
+                row.children = None  # parents moved: rebuild lazily
+            while heap:
+                d, v = pop(heap)
+                if d > dist[v]:
+                    continue
+                for w, u in adjacency[v]:
+                    nd = d + w
+                    if nd < dist[u]:
+                        dist[u] = nd
+                        parent[u] = v
+                        push(heap, (nd, u))
+        else:
+            for a, b, w in decreases:
+                if not (settled[a] and settled[b]):
+                    return False
+                if dist[a] + w < dist[b] or dist[b] + w < dist[a]:
+                    return False
+
+    if increases:
+        roots = []
+        for a, b in increases:
+            if parent[b] == a:
+                roots.append(b)
+            elif parent[a] == b:
+                roots.append(a)
+        if roots:
+            n = len(dist)
+            if not full and row.cutoff is None:
+                # The original run's settle frontier: every never-settled
+                # node's true distance is at least this (Dijkstra settles
+                # in nondecreasing order), and edge costs only grew since.
+                row.cutoff = max(
+                    (dist[v] for v in range(n) if settled[v]), default=0.0
+                )
+            children = row.children
+            if children is None:
+                children = [[] for _ in range(n)]
+                for v, p in enumerate(parent):
+                    if p >= 0:
+                        children[p].append(v)
+                row.children = children
+            # Every child of an affected node is affected (an intact node's
+            # root path avoids detached edges, so its parent is intact
+            # too), so the affected region is the forest below the roots.
+            affect = bytearray(n)
+            affected: List[int] = []
+            stack = []
+            for r in roots:
+                if not affect[r]:
+                    affect[r] = 1
+                    children[parent[r]].remove(r)
+                    stack.append(r)
+            while stack:
+                v = stack.pop()
+                affected.append(v)
+                for c in children[v]:
+                    affect[c] = 1
+                    stack.append(c)
+            for v in affected:
+                dist[v] = INF
+                parent[v] = -1
+                children[v].clear()
+            heap = []
+            push = heapq.heappush
+            pop = heapq.heappop
+            for v in affected:
+                best = INF
+                best_parent = -1
+                for w, u in adjacency[v]:
+                    if not affect[u] and (full or settled[u]):
+                        nd = dist[u] + w
+                        if nd < best:
+                            best = nd
+                            best_parent = u
+                if best_parent >= 0:
+                    dist[v] = best
+                    parent[v] = best_parent
+                    push(heap, (best, v))
+            while heap:
+                d, v = pop(heap)
+                if d > dist[v]:
+                    continue
+                for w, u in adjacency[v]:
+                    if affect[u]:
+                        nd = d + w
+                        if nd < dist[u]:
+                            dist[u] = nd
+                            parent[u] = v
+                            push(heap, (nd, u))
+            for v in affected:
+                p = parent[v]
+                if p >= 0:
+                    children[p].append(v)
+            if not full:
+                cutoff = row.cutoff
+                for v in affected:
+                    settled[v] = 1 if dist[v] <= cutoff else 0
+    return True
+
 
 class _Row:
-    """One cached single-source result inside :class:`FrozenOracle`."""
+    """One cached single-source result inside :class:`FrozenOracle`.
 
-    __slots__ = ("dist", "parent", "settled", "full")
+    ``stale`` marks a row that survived (was repaired by) an edge-cost
+    patch.  Its distances are exact and its parent tree is a valid
+    shortest-path tree under the *current* costs -- repair rebuilds every
+    region a change can reach -- so both distance and path queries serve
+    from it directly; only equal-cost tie-breaks may differ from what a
+    cold rebuild would pick.  A stale row that no longer covers a queried
+    target (a repair demoted it below the settle cutoff) is recomputed
+    like a cold miss instead of being upgraded to a full row.
+    """
+
+    __slots__ = ("dist", "parent", "settled", "full", "stale", "cutoff",
+                 "children", "used")
 
     def __init__(
         self,
@@ -384,6 +742,17 @@ class _Row:
         self.parent = parent
         self.settled = settled
         self.full = full
+        self.stale = False
+        #: Original settle frontier (early-stopped rows), filled lazily by
+        #: the first repair.
+        self.cutoff = None
+        #: Per-node child lists of the parent tree, built lazily by the
+        #: first repair and maintained across repairs.
+        self.children = None
+        #: Served since the last patch?  Rows idle across a whole patch
+        #: interval are dropped rather than repaired -- dead rows (e.g. a
+        #: past request's terminals) would otherwise be repaired forever.
+        self.used = True
 
 
 class FrozenOracle:
@@ -408,9 +777,20 @@ class FrozenOracle:
     cheapest to obtain.
     """
 
-    def __init__(self, graph: Graph, hot: Optional[Iterable[Node]] = None) -> None:
+    def __init__(
+        self,
+        graph: Graph,
+        hot: Optional[Iterable[Node]] = None,
+        patchable: bool = False,
+    ) -> None:
         self._graph = graph
         self._hot: set = set(hot) if hot is not None else set()
+        #: Patchable oracles expect edge-cost churn: rows run to exhaustion
+        #: instead of early-stopping at the hot set, so repairs never meet
+        #: the settle frontier (no demotions, no cold re-misses).  Served
+        #: values are bit-identical either way -- exhaustion only extends
+        #: the relaxation sequence beyond the early stop point.
+        self._patchable = patchable
         self._core: Optional[IndexedGraph] = None
         self._contracted: Optional[_ContractedCore] = None
         self._built = False
@@ -473,8 +853,13 @@ class FrozenOracle:
         index = self.core.index
         for node in nodes:
             node_id = index.get(node)
-            if node_id is not None and node_id not in self._rows:
+            if node_id is None:
+                continue
+            row = self._rows.get(node_id)
+            if row is None:
                 self._compute(node_id, None)
+            else:
+                row.used = True
 
     def extend_hot(self, nodes: Iterable[Node]) -> None:
         """Add nodes to the hot set (affects future row computations).
@@ -507,6 +892,134 @@ class FrozenOracle:
         self._paths.clear()
 
     # ------------------------------------------------------------------
+    # incremental edge-cost patching
+    # ------------------------------------------------------------------
+    def patch_edge_costs(
+        self, changed: Mapping[Tuple[Node, Node], float]
+    ) -> int:
+        """Apply pure edge-*cost* updates without a full rebuild.
+
+        ``changed`` maps ``(u, v)`` pairs (each edge at most once, either
+        orientation) to new costs.  Every pair must already be an edge:
+        topology changes still require :meth:`invalidate`.  New costs are
+        written into the underlying graph, the CSR weight arrays and
+        contracted chain weights are patched in place, and cached rows are
+        *repaired* (Ramalingam--Reps style: only the region below a changed
+        tree edge or reachable from a decreased edge is recomputed) instead
+        of recomputed from scratch; a row is evicted only when its repair
+        cannot be bounded (an improving decrease against an early-stopped
+        row).
+
+        Returns the number of edges whose cost actually changed.
+        """
+        graph = self._graph
+        # Validate the whole batch before writing anything: a missing edge
+        # must not leave the graph half-mutated with the oracle unpatched.
+        applied: List[Tuple[Node, Node, float, float]] = []
+        for (u, v), cost in changed.items():
+            old = graph.cost(u, v)
+            cost = float(cost)
+            if cost != old:
+                applied.append((u, v, old, cost))
+        for u, v, _, cost in applied:
+            graph.add_edge(u, v, cost)
+        if not applied or not self._built:
+            return len(applied)
+        # Exact-but-uncached side caches cannot be patched selectively, and
+        # the row-root heuristic counts are reset exactly as a rebuild
+        # would, so both paths grow the same row set afterwards.
+        self._slow_rows.clear()
+        self._paths.clear()
+        self._queries.clear()
+        if self._contracted is not None:
+            pair_updates = self._contracted.patch_edges(
+                (u, v, cost) for u, v, _, cost in applied
+            )
+            self._patch_rows(self._contracted.rows, pair_updates)
+            if self._core is not None:
+                index = self._core.index
+                self._core.patch_edges(
+                    (index[u], index[v], cost) for u, v, _, cost in applied
+                )
+        else:
+            index = self._core.index
+            id_changes = [
+                (index[u], index[v], old, cost) for u, v, old, cost in applied
+            ]
+            self._core.patch_edges(
+                (a, b, cost) for a, b, _, cost in id_changes
+            )
+            self._patch_rows(self._core._rows, id_changes)
+        return len(applied)
+
+    def _patch_rows(
+        self,
+        adjacency: List[Tuple[Tuple[float, int], ...]],
+        changes: Iterable[Tuple[int, int, float, float]],
+    ) -> None:
+        """Repair (or evict) every cached row after a weight-change batch.
+
+        ``changes`` holds ``(a, b, old_w, new_w)`` in the active core's id
+        space; ``adjacency`` is that core's already-patched per-node rows.
+        Each cached row is repaired in place by :func:`_repair_row`; rows
+        whose repair cannot be bounded are dropped.  Every survivor is
+        marked :attr:`_Row.stale`: its distances and tree are exact under
+        the new costs, with tie-breaks possibly differing from a cold
+        rebuild's.
+        """
+        increases = [(a, b) for a, b, old, new in changes if new > old]
+        decreases = [(a, b, new) for a, b, old, new in changes if new < old]
+        if not increases and not decreases:
+            return
+        for source_id, row in list(self._rows.items()):
+            if not row.used:
+                # Idle for a whole patch interval: recompute on demand
+                # (exactly the rebuild path) instead of repairing forever.
+                del self._rows[source_id]
+            elif _repair_row(adjacency, row, increases, decreases):
+                row.stale = True
+                row.used = False
+            else:
+                del self._rows[source_id]
+
+    def rebased(
+        self, graph: Graph, changed: Mapping[Tuple[Node, Node], float]
+    ) -> "FrozenOracle":
+        """A new oracle over ``graph``, seeded from this oracle's caches.
+
+        ``graph`` must be a copy of this oracle's graph -- identical nodes
+        in the same enumeration order and identical edges, still carrying
+        the *old* costs -- to which ``changed`` (the
+        :meth:`patch_edge_costs` contract) is then applied.  The dynamic
+        adjustments use this to reroute on updated costs while leaving the
+        original instance and its oracle untouched.
+        """
+        clone = FrozenOracle(graph, hot=self._hot, patchable=self._patchable)
+        if self._built:
+            clone._built = True
+            clone._hot_ids = list(self._hot_ids)
+            if self._core is not None:
+                clone._core = self._core.clone()
+            if self._contracted is not None:
+                clone._contracted = self._contracted.clone()
+            for source_id, row in self._rows.items():
+                # Deep copies: patching repairs row arrays in place, and
+                # the original oracle must keep serving its own graph.
+                dup = _Row(
+                    list(row.dist),
+                    list(row.parent),
+                    None if row.settled is None else bytearray(row.settled),
+                    row.full,
+                )
+                dup.stale = row.stale
+                dup.cutoff = row.cutoff
+                dup.used = row.used
+                # children stays None: rebuilt lazily, never shared.
+                clone._rows[source_id] = dup
+        clone.patch_edge_costs(changed)
+        return clone
+
+    # ------------------------------------------------------------------
     # contracted-core machinery
     # ------------------------------------------------------------------
     def _slow_row(self, source: Node) -> Tuple[Dict[Node, float], Dict[Node, Node]]:
@@ -523,7 +1036,9 @@ class FrozenOracle:
             dist, parent = self._contracted.dijkstra(cid)
             row = _Row(dist, parent, None, True)
             self._rows[cid] = row
+        row.used = True
         return row
+
 
     # ------------------------------------------------------------------
     # uncontracted-core machinery
@@ -531,7 +1046,7 @@ class FrozenOracle:
     def _compute(self, source_id: int, target_id: Optional[int]) -> _Row:
         """Compute and cache a row, early-stopped at the hot set if any."""
         core = self.core
-        if self._hot_ids:
+        if self._hot_ids and not self._patchable:
             targets = (
                 self._hot_ids if target_id is None
                 else self._hot_ids + [target_id]
@@ -548,8 +1063,15 @@ class FrozenOracle:
         """A row from ``source_id`` whose entry for ``target_id`` is final."""
         row = self._rows.get(source_id)
         if row is not None and (row.full or row.settled[target_id]):
+            row.used = True
             return row
         if row is not None:
+            if row.stale:
+                # A patch demoted the target below the settle cutoff:
+                # recompute exactly as a cold miss would (early-stopped at
+                # the hot set), which keeps the row bit-compatible with
+                # the full-rebuild path.
+                return self._compute(source_id, target_id)
             # Cached but early-stopped short of the target: upgrade in full
             # so repeated cold queries never re-run the search.
             dist, parent, settled, _ = self.core.dijkstra(source_id)
@@ -587,8 +1109,10 @@ class FrozenOracle:
             if row is None:
                 row = self._rows.get(tid)
                 if row is not None:
+                    row.used = True
                     return row.dist[source_id]
                 row = self._contracted_row(source_id)
+            row.used = True
             return row.dist[tid]
 
         core = self.core
@@ -603,9 +1127,11 @@ class FrozenOracle:
         rows = self._rows
         row = rows.get(source_id)
         if row is not None and (row.full or row.settled[tid]):
+            row.used = True
             return row.dist[tid]
         rev = rows.get(tid)
         if rev is not None and (rev.full or rev.settled[source_id]):
+            rev.used = True
             return rev.dist[source_id]
         if row is None and rev is None:
             # Pick the root more likely to serve future queries.
@@ -638,6 +1164,7 @@ class FrozenOracle:
                 return [source]
             row = self._rows.get(source_id)
             if row is not None:
+                row.used = True
                 if row.dist[tid] == INF:
                     raise ValueError(f"no path from {source!r} to {target!r}")
                 out = contracted.expand(
@@ -647,6 +1174,7 @@ class FrozenOracle:
                 rev = self._rows.get(tid)
                 if rev is not None:
                     # Serve the reverse row's tree and flip it (symmetry).
+                    rev.used = True
                     if rev.dist[source_id] == INF:
                         raise ValueError(
                             f"no path from {source!r} to {target!r}"
@@ -749,6 +1277,7 @@ class FrozenOracle:
             dist, parent, settled, _ = core.dijkstra(source_id)
             row = _Row(dist, parent, settled, True)
             self._rows[source_id] = row
+        row.used = True
         nodes = core.nodes
         return {
             nodes[i]: d for i, d in enumerate(row.dist) if d != INF

@@ -21,6 +21,7 @@ from repro.core.dynamic import reroute_congested_link
 from repro.core.forest import ServiceOverlayForest
 from repro.core.problem import SOFInstance
 from repro.costmodel import LoadTracker
+from repro.graph.graph import canonical_edge
 
 Node = Hashable
 
@@ -34,8 +35,6 @@ def congested_forest_links(
     used = set(forest.tree_edges)
     for chain in forest.chains:
         for a, b in chain.all_edges():
-            from repro.graph.graph import canonical_edge
-
             used.add(canonical_edge(a, b))
     hot = set(tracker.congested_links(threshold))
     return sorted(used & hot, key=repr)

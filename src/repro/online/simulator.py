@@ -50,12 +50,17 @@ class OnlineSimulator:
         link_capacity: float = 100.0,
         vm_capacity: float = 5.0,
         cost_floor: float = 0.01,
+        incremental: bool = True,
     ) -> None:
         self._network = network
         self._tracker = LoadTracker(
             link_capacity=link_capacity, node_capacity=vm_capacity
         )
         self._cost_floor = cost_floor
+        # ``incremental=False`` falls back to a full oracle rebuild per
+        # cost change -- the pre-patch behaviour, kept as the benchmark
+        # and equivalence-test reference.
+        self._incremental = incremental
 
         # Build the working graph once: access topology + fixed VM pool.
         graph = network.graph.copy()
@@ -73,7 +78,11 @@ class OnlineSimulator:
         # must not mutate it); commits update only the edges whose loads
         # changed and invalidate the oracle only when a cost really moved.
         self._tracker.apply_to_graph(graph, floor=cost_floor)
-        self._oracle = FrozenOracle(graph, hot=self._vms)
+        # Incremental simulators expect per-request cost churn, so their
+        # oracle computes patch-repairable (exhaustive) rows.
+        self._oracle = FrozenOracle(
+            graph, hot=self._vms, patchable=self._incremental
+        )
 
     @property
     def tracker(self) -> LoadTracker:
@@ -86,19 +95,28 @@ class OnlineSimulator:
         return list(self._vms)
 
     def _sync_costs(self) -> None:
-        """Fold tracker load changes into the graph; invalidate on change.
+        """Fold tracker load changes into the graph and patch the oracle.
 
-        Only links whose load moved since the last sync are touched, and
-        the shared oracle keeps its cached rows across requests whenever no
-        edge cost actually changed (e.g. after a rejected request).
+        Only links whose load moved since the last sync are touched.  The
+        topology never changes online -- commits move edge *costs* only --
+        so the default path hands the changed costs to
+        :meth:`FrozenOracle.patch_edge_costs`, which updates the graph and
+        the oracle's weight arrays in place and keeps every cached row the
+        change provably cannot affect.  With ``incremental=False`` the
+        costs are written directly and the whole oracle is rebuilt.
         """
-        changed = False
+        changed = {}
         for u, v in self._tracker.drain_dirty_links():
             cost = max(self._tracker.link_cost(u, v), self._cost_floor)
             if self._graph.cost(u, v) != cost:
+                changed[(u, v)] = cost
+        if not changed:
+            return
+        if self._incremental:
+            self._oracle.patch_edge_costs(changed)
+        else:
+            for (u, v), cost in changed.items():
                 self._graph.add_edge(u, v, cost)
-                changed = True
-        if changed:
             self._oracle.invalidate()
 
     def current_instance(self, request: Request) -> SOFInstance:

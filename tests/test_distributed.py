@@ -100,6 +100,44 @@ def test_message_bus_basics():
     assert bus.by_kind()["y"] == (2, 6)
 
 
+def test_controller_serves_from_per_domain_oracle(instance):
+    """Intra-domain rows come from one FrozenOracle per controller."""
+    from repro.graph import FrozenOracle
+    from repro.graph.shortest_paths import dijkstra
+
+    domains = partition_domains(instance.graph, 3, seed=1)
+    for i, domain in enumerate(domains):
+        controller = Controller.for_domain(i, domain, instance.graph)
+        assert isinstance(controller.oracle, FrozenOracle)
+        assert controller.oracle is controller.oracle  # one per domain
+        for node in sorted(domain, key=repr)[:4]:
+            expected, _ = dijkstra(controller.local_graph, node)
+            got = controller.local_distances_from(node)
+            assert set(got) == set(expected)
+            for target, dist in expected.items():
+                assert got[target] == pytest.approx(dist, rel=0, abs=1e-9)
+
+
+#: Message statistics recorded before the controllers were contracted
+#: onto per-domain oracles -- the protocol must not notice the swap.
+PRE_ORACLE_MESSAGE_STATS = {
+    2: (18, 76),
+    3: (43, 290),
+    4: (57, 221),
+}
+
+
+@pytest.mark.parametrize("num_domains", [2, 3, 4])
+def test_message_stats_unchanged_by_oracle_contraction(instance, num_domains):
+    result = DistributedSOFDA(instance, num_domains=num_domains, seed=1).run()
+    assert (
+        result.bus.num_messages, result.bus.total_size
+    ) == PRE_ORACLE_MESSAGE_STATS[num_domains]
+    # The embedded forest is still the centralized one.
+    central = sofda(instance)
+    assert result.cost == pytest.approx(central.cost, rel=0, abs=1e-9)
+
+
 def test_leader_is_a_source_controller(instance):
     distributed = DistributedSOFDA(instance, num_domains=4, seed=1)
     result = distributed.run()

@@ -59,6 +59,39 @@ def test_run_sweep_custom_algorithms():
     assert list(result.mean_cost) == ["only"]
 
 
+def test_run_sweep_workers_matches_serial():
+    """The pooled sweep must reproduce the serial output exactly."""
+    network = softlayer_network(seed=1)
+    kwargs = dict(
+        parameter="num_vms", values=[5, 10], seeds=2,
+        overrides={"num_sources": 3, "num_destinations": 3,
+                   "chain_length": 2},
+    )
+    serial = run_sweep(network, **kwargs)
+    pooled = run_sweep(network, workers=4, **kwargs)
+    assert pooled.values == serial.values
+    assert pooled.mean_cost == serial.mean_cost
+    assert pooled.mean_vms_used == serial.mean_vms_used
+    # Runtimes are measured per cell, so both modes report sane values.
+    for name in serial.mean_cost:
+        assert all(t >= 0 for t in pooled.mean_runtime_s[name])
+
+
+def test_run_sweep_workers_custom_algorithms():
+    """Fork inheritance carries even lambda embedders to the workers."""
+    from repro.core.sofda import sofda
+
+    network = softlayer_network(seed=1)
+    kwargs = dict(
+        parameter="chain_length", values=[2], seeds=2,
+        algorithms={"only": lambda inst: sofda(inst).forest},
+        overrides={"num_sources": 2, "num_destinations": 2, "num_vms": 6},
+    )
+    serial = run_sweep(network, **kwargs)
+    pooled = run_sweep(network, workers=2, **kwargs)
+    assert pooled.mean_cost == serial.mean_cost
+
+
 def test_defaults_match_paper():
     assert DEFAULTS == {
         "num_sources": 14, "num_destinations": 6,

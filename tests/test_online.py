@@ -105,6 +105,42 @@ def test_run_online_comparison_isolates_state(network):
         )
 
 
+def test_incremental_patch_matches_full_rebuild(network):
+    """The patch path must replay a trace exactly like invalidate() did."""
+
+    def trace(incremental):
+        net = softlayer_network(seed=3)
+        sim = OnlineSimulator(net, incremental=incremental)
+        gen = RequestGenerator(net, seed=7, destinations_range=(4, 5),
+                               sources_range=(2, 3))
+        return [
+            sim.embed(request, lambda inst: sofda(inst).forest)
+            for request in gen.take(6)
+        ]
+
+    assert trace(True) == trace(False)
+
+
+def test_sync_costs_patches_graph_in_place(network):
+    sim = OnlineSimulator(network)
+    gen = RequestGenerator(network, seed=2, destinations_range=(3, 3),
+                           sources_range=(2, 2))
+    request = gen.next_request()
+    first = sim.embed(request, lambda inst: sofda(inst).forest)
+    assert first is not None
+    graph_before = sim._graph
+    oracle_before = sim._oracle
+    # The next sync must patch the same live graph and oracle objects.
+    sim.current_instance(gen.next_request())
+    assert sim._graph is graph_before
+    assert sim._oracle is oracle_before
+    # Loaded links now carry their Fortz--Thorup cost in the live graph.
+    loaded = next(iter(sim.tracker.link_load))
+    assert sim._graph.cost(*loaded) == max(
+        sim.tracker.link_cost(*loaded), sim._cost_floor
+    )
+
+
 def test_rejection_counted(network):
     sim = OnlineSimulator(network)
     gen = RequestGenerator(network, seed=1, destinations_range=(2, 2),

@@ -1,0 +1,249 @@
+"""Tests for incremental oracle invalidation (``patch_edge_costs``).
+
+The contract: after patching edge *costs* (topology fixed), the oracle
+must answer exactly as a fresh :class:`FrozenOracle` built over the
+updated graph would -- in both the replicated-order mode and the
+degree-2-contracted mode -- while keeping every cached row the change
+provably cannot affect.
+"""
+
+import random
+
+import pytest
+
+from repro.core.dynamic import reroute_congested_link
+from repro.core.problem import ServiceChain
+from repro.graph import DistanceOracle, FrozenOracle, Graph
+from repro.graph.shortest_paths import walk_cost
+from repro.topology import inet_network, softlayer_network
+
+INF = float("inf")
+
+
+def random_graph(rng, num_nodes=40, edge_probability=0.15):
+    graph = Graph()
+    for i in range(num_nodes):
+        graph.add_node(i)
+    for i in range(num_nodes):
+        for j in range(i + 1, num_nodes):
+            if rng.random() < edge_probability:
+                graph.add_edge(i, j, rng.uniform(0.1, 5.0))
+    return graph
+
+
+def perturb(rng, graph, count, direction=None):
+    """Draw ``count`` random edge-cost changes (not yet applied)."""
+    edges = list(graph.edges())
+    changed = {}
+    for u, v, cost in rng.sample(edges, min(count, len(edges))):
+        if direction == "up":
+            factor = rng.uniform(1.1, 3.0)
+        elif direction == "down":
+            factor = rng.uniform(0.2, 0.9)
+        else:
+            factor = rng.uniform(0.2, 3.0)
+        changed[(u, v)] = cost * factor
+    return changed
+
+
+# ----------------------------------------------------------------------
+# replicated (uncontracted) mode
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("direction", [None, "up", "down"])
+def test_patched_rows_match_fresh_oracle_uncontracted(direction):
+    rng = random.Random(11 if direction is None else hash(direction) % 97)
+    for trial in range(6):
+        graph = random_graph(rng)
+        nodes = list(graph.nodes())
+        hot = rng.sample(nodes, 6)
+        oracle = FrozenOracle(graph, hot=hot)
+        assert oracle.contracted is None
+        # Populate the row cache before patching.
+        for _ in range(30):
+            oracle.distance(rng.choice(nodes), rng.choice(nodes))
+        changed = perturb(rng, graph, 8, direction)
+        oracle.patch_edge_costs(changed)
+        fresh = FrozenOracle(graph.copy(), hot=hot)
+        for source in rng.sample(nodes, 8):
+            # Full rows are bit-identical: a surviving row passed the
+            # no-tree-use / no-improvement tests, so its distances are the
+            # sums a fresh build performs too.
+            assert oracle.distances_from(source) == fresh.distances_from(source)
+
+
+def test_sequential_patches_stay_exact():
+    rng = random.Random(23)
+    graph = random_graph(rng)
+    nodes = list(graph.nodes())
+    oracle = FrozenOracle(graph, hot=rng.sample(nodes, 5))
+    reference = DistanceOracle(graph)
+    for _ in range(10):
+        changed = perturb(rng, graph, 4)
+        oracle.patch_edge_costs(changed)
+        reference.invalidate()
+        for _ in range(25):
+            u, v = rng.choice(nodes), rng.choice(nodes)
+            assert oracle.distance(u, v) == pytest.approx(
+                reference.distance(u, v), rel=0, abs=1e-9
+            )
+
+
+def test_noop_patch_keeps_every_cached_row():
+    rng = random.Random(5)
+    graph = random_graph(rng)
+    nodes = list(graph.nodes())
+    oracle = FrozenOracle(graph, hot=rng.sample(nodes, 5))
+    for _ in range(20):
+        oracle.distance(rng.choice(nodes), rng.choice(nodes))
+    before = dict(oracle._rows)
+    unchanged = {(u, v): cost for u, v, cost in list(graph.edges())[:10]}
+    assert oracle.patch_edge_costs(unchanged) == 0
+    assert oracle._rows == before
+
+
+def test_patch_only_evicts_affected_rows():
+    # a-b-c path plus an isolated d-e edge: patching d-e must keep the
+    # cached a-row (its tree cannot use d-e, and no distance can improve).
+    graph = Graph.from_edges(
+        [("a", "b", 1.0), ("b", "c", 1.0), ("d", "e", 1.0)]
+    )
+    oracle = FrozenOracle(graph)
+    assert oracle.distance("a", "c") == 2.0
+    row = next(iter(oracle._rows.values()))
+    oracle.patch_edge_costs({("d", "e"): 5.0})
+    assert next(iter(oracle._rows.values())) is row
+    # Raising an on-tree edge evicts, and the answer tracks the new cost.
+    oracle.patch_edge_costs({("a", "b"): 3.0})
+    assert oracle.distance("a", "c") == 4.0
+
+
+def test_patch_rejects_unknown_edges_atomically():
+    graph = Graph.from_edges([("a", "b", 1.0), ("b", "c", 1.0)])
+    oracle = FrozenOracle(graph)
+    assert oracle.distance("a", "c") == 2.0
+    with pytest.raises(KeyError):
+        oracle.patch_edge_costs({("a", "b"): 10.0, ("a", "z"): 2.0})
+    # The failed batch must not have mutated the graph or the oracle.
+    assert graph.cost("a", "b") == 1.0
+    assert oracle.distance("a", "c") == 2.0
+
+
+# ----------------------------------------------------------------------
+# contracted mode
+# ----------------------------------------------------------------------
+@pytest.fixture(scope="module")
+def contracted_instance():
+    network = inet_network(
+        num_nodes=400, num_links=800, num_datacenters=120, seed=5
+    )
+    return network.make_instance(
+        num_sources=4, num_destinations=5, num_vms=10,
+        chain=ServiceChain.of_length(3), seed=21,
+    )
+
+
+def test_patched_contracted_matches_fresh(contracted_instance):
+    instance = contracted_instance
+    graph = instance.graph.copy()
+    hot = instance.vms | instance.sources | instance.destinations
+    oracle = FrozenOracle(graph, hot=hot)
+    assert oracle.contracted is not None
+    special = sorted(hot, key=repr)
+    oracle.warm(special)
+    rng = random.Random(7)
+    for _ in range(4):
+        changed = perturb(rng, graph, 12)
+        oracle.patch_edge_costs(changed)
+        fresh = FrozenOracle(graph.copy(), hot=hot)
+        assert fresh.contracted is not None
+        for source in special[:6]:
+            # Covers core nodes and chain interiors (full-row expansion).
+            assert oracle.distances_from(source) == fresh.distances_from(source)
+        for _ in range(20):
+            u, v = rng.choice(special), rng.choice(special)
+            d = oracle.distance(u, v)
+            assert d == pytest.approx(fresh.distance(u, v), rel=0, abs=1e-9)
+            if d < INF and u != v:
+                path = oracle.path(u, v)
+                assert path[0] == u and path[-1] == v
+                assert walk_cost(graph, path) == pytest.approx(
+                    d, rel=0, abs=1e-9
+                )
+
+
+def test_patch_interior_chain_edge_served_exactly(contracted_instance):
+    instance = contracted_instance
+    graph = instance.graph.copy()
+    hot = instance.vms | instance.sources | instance.destinations
+    oracle = FrozenOracle(graph, hot=hot)
+    contracted = oracle.contracted
+    # Pick an edge buried inside a contracted chain (interior-interior
+    # when the longest chain allows it, anchor-interior otherwise).
+    chain = max(contracted.chains, key=lambda c: len(c[2]))
+    interiors = chain[2]
+    if len(interiors) >= 2:
+        u, v = interiors[0], interiors[1]
+    else:
+        u, v = contracted.nodes[chain[0]], interiors[0]
+    old = graph.cost(u, v)
+    oracle.patch_edge_costs({(u, v): old * 4.0})
+    reference = DistanceOracle(graph)
+    probe = sorted(instance.sources, key=repr)[0]
+    for node in (u, v):
+        assert oracle.distance(probe, node) == pytest.approx(
+            reference.distance(probe, node), rel=0, abs=1e-9
+        )
+
+
+# ----------------------------------------------------------------------
+# rebased clones (the dynamic-adjustment path)
+# ----------------------------------------------------------------------
+def test_rebased_leaves_original_untouched():
+    rng = random.Random(31)
+    graph = random_graph(rng)
+    nodes = list(graph.nodes())
+    hot = rng.sample(nodes, 5)
+    oracle = FrozenOracle(graph, hot=hot)
+    for _ in range(20):
+        oracle.distance(rng.choice(nodes), rng.choice(nodes))
+    u, v, cost = next(iter(graph.edges()))
+    before = {n: oracle.distances_from(n) for n in rng.sample(nodes, 5)}
+
+    copy = graph.copy()
+    rebased = oracle.rebased(copy, {(u, v): cost * 10.0})
+    assert copy.cost(u, v) == cost * 10.0
+    assert graph.cost(u, v) == cost  # original graph untouched
+    for n, row in before.items():
+        assert oracle.distances_from(n) == row
+    fresh = FrozenOracle(copy.copy(), hot=hot)
+    for n in rng.sample(nodes, 8):
+        assert rebased.distances_from(n) == fresh.distances_from(n)
+
+
+def test_reroute_congested_link_uses_rebased_oracle():
+    from repro import sofda
+
+    network = softlayer_network(seed=3)
+    instance = network.make_instance(
+        num_sources=3, num_destinations=4, num_vms=8,
+        chain=ServiceChain.of_length(2), seed=9,
+    )
+    forest = sofda(instance).forest
+    link = next(iter(forest.chains[0].all_edges()))
+    old_cost = instance.graph.cost(*link)
+    new_instance, rerouted, = None, None
+    new_instance, rerouted = reroute_congested_link(
+        forest, link, old_cost * 20.0
+    )
+    assert new_instance.graph.cost(*link) == old_cost * 20.0
+    assert instance.graph.cost(*link) == old_cost
+    # The rebased oracle answers exactly like a cold oracle on the
+    # updated graph.
+    fresh = DistanceOracle(new_instance.graph)
+    rng = random.Random(1)
+    nodes = sorted(new_instance.graph.nodes(), key=repr)
+    for _ in range(25):
+        a, b = rng.choice(nodes), rng.choice(nodes)
+        assert new_instance.oracle.distance(a, b) == pytest.approx(
+            fresh.distance(a, b), rel=0, abs=1e-9
+        )
