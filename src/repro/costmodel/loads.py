@@ -93,14 +93,25 @@ class LoadTracker:
         return fortz_thorup_cost(load, self.node_capacity) * self.cost_scale
 
     def congested_links(self, threshold: float = 0.9) -> Iterable[Edge]:
-        """Links above ``threshold`` utilisation (Section VII-C case 5)."""
+        """Links *strictly* above ``threshold`` utilisation (VII-C case 5).
+
+        Boundary semantics: a link at exactly ``threshold`` utilisation is
+        NOT congested (strict ``>``).  Callers that phrase the trigger as
+        "exceeds the threshold" -- the rerouting layer in
+        :mod:`repro.online.rerouting` -- share this exact comparison, so a
+        link loaded to precisely 0.9 never flips between the two layers.
+        """
         return [
             edge for edge, load in self.link_load.items()
             if load / self.link_capacity > threshold
         ]
 
     def overloaded_nodes(self, threshold: float = 0.9) -> Iterable[Node]:
-        """Hosts above ``threshold`` utilisation (Section VII-C case 6)."""
+        """Hosts *strictly* above ``threshold`` utilisation (VII-C case 6).
+
+        Same strict-``>`` boundary as :meth:`congested_links`: a host at
+        exactly ``threshold`` utilisation is not overloaded.
+        """
         return [
             node for node, load in self.node_load.items()
             if load / self.node_capacity > threshold

@@ -18,6 +18,7 @@ from __future__ import annotations
 import multiprocessing
 import statistics
 import time
+import warnings
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
@@ -122,18 +123,34 @@ def _sweep_cell(cell: Tuple[Dict[str, int], int]) -> Dict[str, Tuple[float, int,
     return out
 
 
+#: Whether the missing-fork serial fallback has already been reported --
+#: the warning fires once per process, not once per sweep.
+_warned_no_fork = False
+
+
 def _map_cells(
     cells: List[Tuple[Dict[str, int], int]], workers: int
 ) -> List[Dict[str, Tuple[float, int, float]]]:
     """Evaluate cells, optionally on a fork pool; order is preserved."""
-    if (
-        workers > 1
-        and len(cells) > 1
-        and "fork" in multiprocessing.get_all_start_methods()
-    ):
-        context = multiprocessing.get_context("fork")
-        with context.Pool(processes=min(workers, len(cells))) as pool:
-            return pool.map(_sweep_cell, cells, chunksize=1)
+    global _warned_no_fork
+    if workers > 1 and len(cells) > 1:
+        if "fork" in multiprocessing.get_all_start_methods():
+            context = multiprocessing.get_context("fork")
+            with context.Pool(processes=min(workers, len(cells))) as pool:
+                return pool.map(_sweep_cell, cells, chunksize=1)
+        if not _warned_no_fork:
+            # The pool inherits the network and the (often lambda)
+            # embedders by forked memory copy; without fork they cannot
+            # be shipped to workers, so the sweep silently losing its
+            # parallelism deserves one loud notice.
+            _warned_no_fork = True
+            warnings.warn(
+                f"run_sweep(workers={workers}): the 'fork' start method is "
+                "unavailable on this platform; evaluating sweep cells "
+                "serially instead",
+                RuntimeWarning,
+                stacklevel=3,
+            )
     return [_sweep_cell(cell) for cell in cells]
 
 
@@ -159,7 +176,8 @@ def run_sweep(
     process pool; the merge runs in cell order, so costs and VM counts are
     bit-identical to the serial run (only the measured runtimes differ --
     they report each cell's own wall clock).  Platforms without the fork
-    start method fall back to serial evaluation.
+    start method fall back to serial evaluation and say so with a
+    one-time ``RuntimeWarning``.
     """
     if parameter not in DEFAULTS:
         raise ValueError(

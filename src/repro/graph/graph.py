@@ -27,6 +27,30 @@ def canonical_edge(u: Node, v: Node) -> Edge:
         return (u, v) if repr(u) <= repr(v) else (v, u)
 
 
+def node_sort_key(node: Node) -> Tuple:
+    """Canonical sort key for nodes of arbitrary, possibly mixed types.
+
+    Orders by type group first, then natively within numbers (ints and
+    floats share one numeric group) and strings (recursively for
+    tuples), falling back to ``repr`` for anything else.  Unlike sorting
+    on raw ``repr``, numeric nodes keep numeric order (``repr`` puts 10
+    before 9) and the order cannot shift with quoting or bracket
+    characters when node types are mixed.
+    """
+    if isinstance(node, tuple):
+        return ("tuple", tuple(node_sort_key(item) for item in node))
+    if isinstance(node, (int, float)) and not isinstance(node, bool):
+        return ("number", node)
+    if isinstance(node, str):
+        return ("str", node)
+    return (type(node).__name__, repr(node))
+
+
+def edge_sort_key(edge: Edge) -> Tuple:
+    """Canonical sort key for (already canonical) undirected edges."""
+    return (node_sort_key(edge[0]), node_sort_key(edge[1]))
+
+
 class Graph:
     """Undirected graph with nonnegative edge costs.
 

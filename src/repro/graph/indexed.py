@@ -36,6 +36,16 @@ One FrozenOracle per :class:`~repro.core.problem.SOFInstance` is shared by
 the whole SOFDA pipeline (Procedure 1 sweeps, conflict repairs, Steiner
 closures, the baselines and the online simulator) -- the single-oracle
 invariant documented in ROADMAP.md.
+
+Edge-*cost* patches (:meth:`FrozenOracle.patch_edge_costs`) repair cached
+rows instead of recomputing them.  The repair engine is split into a
+*planner* -- one shared :class:`_PatchPlan` per patch that classifies the
+changed batch (increase/decrease partition, degree-1 leaf edges, and the
+rows that use each changed pair as a tree edge, via a lazily-maintained
+inverted pair->rows index) -- and a *repairer*
+(:func:`_repair_row_planned`) that applies the plan to one row.  The
+historical per-row rescan (:func:`_repair_row`) is kept, bit-identical,
+behind ``planner=False`` as the equivalence reference.
 """
 
 from __future__ import annotations
@@ -68,6 +78,17 @@ CONTRACT_MIN_DISTINCT_COSTS = 0.5
 #: the enumeration order) -- plenty to separate drawn-cost graphs from
 #: uniform/integer-cost ones without an O(E) scan per oracle build.
 _DISTINCT_COST_SAMPLE = 2048
+
+#: Patch-planner index policy.  The inverted pair->rows tree-edge index
+#: lets a patch visit only the rows that use a changed edge, but building
+#: it costs O(rows x nodes) and every repair must maintain it, so it only
+#: pays while patches keep touching a small minority of the cached rows.
+#: The planner therefore classifies by scan pass until
+#: :data:`PLANNER_INDEX_BUILD_STREAK` consecutive patches repaired at most
+#: a quarter of at least :data:`PLANNER_INDEX_MIN_ROWS` live rows, and
+#: drops the index again as soon as one patch repairs half of them.
+PLANNER_INDEX_MIN_ROWS = 64
+PLANNER_INDEX_BUILD_STREAK = 3
 
 
 def _costs_mostly_distinct(graph: Graph) -> bool:
@@ -715,6 +736,250 @@ def _repair_row(
     return True
 
 
+class _PatchPlan:
+    """Row-independent classification of one edge-cost change batch.
+
+    The online workload (pure edge-cost churn) repairs every cached row
+    per patch, and most of the *classification* work -- which changed
+    pairs can be tree edges, and with which endpoint as the child -- does
+    not depend on the row at all.  The plan hoists it:
+
+    - ``increases`` / ``decreases``: the direction partition of the batch
+      (shared verbatim with the legacy per-row repair).
+    - ``classified`` (lazy -- only the planned repair branch pays for
+      it): per increased pair ``(a, b, leaf)`` where ``leaf`` is the
+      degree-1 endpoint id, or ``-1`` for a general pair.  A
+      degree-1 node can only ever be the *child* of its single edge (no
+      shortest path routes through it), and its detached "region" is the
+      node itself, so every row repairs it with one relaxation instead of
+      the full region machinery.  In the online simulator the per-request
+      VM attachment edges are exactly such leaf edges, and they appear in
+      every cached row's tree.
+
+    The remaining per-row facts (is the pair a tree edge *in this row*)
+    are answered either by the oracle's lazily-maintained inverted
+    pair->rows tree-edge index or, on a first/one-shot patch, by a single
+    scan pass -- see :meth:`FrozenOracle._patch_rows`.
+    """
+
+    __slots__ = ("increases", "decreases", "_adjacency", "_classified")
+
+    def __init__(
+        self,
+        adjacency: List[Tuple[Tuple[float, int], ...]],
+        changes: Iterable[Tuple[int, int, float, float]],
+    ) -> None:
+        self.increases: List[Tuple[int, int]] = []
+        self.decreases: List[Tuple[int, int, float]] = []
+        self._adjacency = adjacency
+        self._classified: Optional[List[Tuple[int, int, int]]] = None
+        for a, b, old, new in changes:
+            if new > old:
+                self.increases.append((a, b))
+            elif new < old:
+                self.decreases.append((a, b, new))
+
+    @property
+    def classified(self) -> List[Tuple[int, int, int]]:
+        """Leaf-classified increases, built on first use.
+
+        Deferred so the ``planner=False`` reference oracles and
+        decrease-carrying batches -- which repair through the legacy
+        per-row path and never read it -- skip the degree lookups.
+        """
+        if self._classified is None:
+            adjacency = self._adjacency
+            out = []
+            for a, b in self.increases:
+                if len(adjacency[b]) == 1:
+                    leaf = b
+                elif len(adjacency[a]) == 1:
+                    leaf = a
+                else:
+                    leaf = -1
+                out.append((a, b, leaf))
+            self._classified = out
+        return self._classified
+
+
+def _index_add(
+    index: Dict[Tuple[int, int], set], v: int, p: int, sid: int
+) -> None:
+    """Register tree edge ``{v, p}`` of row ``sid`` in the inverted index.
+
+    The one place that fixes the index's key convention (the id pair in
+    ascending order) -- shared by post-repair maintenance and wholesale
+    row registration, which must stay in lockstep for the
+    over-approximation invariant to hold.
+    """
+    key = (v, p) if v < p else (p, v)
+    bucket = index.get(key)
+    if bucket is None:
+        index[key] = {sid}
+    else:
+        bucket.add(sid)
+
+
+def _route_tree_edge(
+    row: "_Row",
+    sid: int,
+    a: int,
+    b: int,
+    leaf: int,
+    general_roots: Dict[int, List[int]],
+    leaf_jobs: Dict[int, List[Tuple[int, int]]],
+) -> bool:
+    """Route one changed pair of ``row`` to its repair job, if a tree edge.
+
+    The single dispatch both classification modes (index lookup and scan
+    pass) of :meth:`FrozenOracle._patch_rows` share: verify the pair
+    against ``row.parent``, then queue the detached child either as a
+    ``(leaf, anchor)`` fast job (increased degree-1 edge of a full row)
+    or as a general region root.  Returns whether the pair is currently a
+    tree edge of the row.
+    """
+    parent = row.parent
+    if parent[b] == a:
+        child = b
+    elif parent[a] == b:
+        child = a
+    else:
+        return False
+    if child == leaf and row.full:
+        leaf_jobs.setdefault(sid, []).append((child, a if child == b else b))
+    else:
+        general_roots.setdefault(sid, []).append(child)
+    return True
+
+
+def _repair_row_planned(
+    adjacency: List[Tuple[Tuple[float, int], ...]],
+    row: "_Row",
+    roots: Iterable[int],
+    leafs: Iterable[Tuple[int, int]],
+) -> List[int]:
+    """Apply one plan's increase repairs to a single cached row.
+
+    ``roots`` are the row's detached children of generally-classified
+    increased pairs (already verified against ``row.parent``); ``leafs``
+    holds ``(leaf, anchor)`` jobs for increased degree-1 edges of full
+    rows.  Semantics are identical to the increase half of
+    :func:`_repair_row`; the mechanics differ in two profiled ways:
+
+    - The affected region is discovered by scanning ``adjacency`` for
+      ``parent[u] == v`` children instead of building and maintaining
+      per-row children lists (the lazily-built lists are ~40% of legacy
+      repair time on the online trace, and the planner skips rows a patch
+      cannot touch, so the lists would be built for nothing).
+    - Leaf jobs whose anchor is outside every detached region bypass the
+      region machinery entirely: the leaf's one edge is relaxed in place
+      (``dist[leaf] = dist[anchor] + w``), its parent unchanged.  A leaf
+      whose anchor *is* detached was already swept into that region by
+      the child walk, and is repaired there.
+
+    Returns the affected (region-repaired) node list, so the caller can
+    refresh the inverted tree-edge index from the new parents.
+    """
+    dist = row.dist
+    parent = row.parent
+    settled = row.settled
+    full = row.full
+    # Planned repairs never maintain the legacy children lists; drop any
+    # lists a previous mixed (decrease-carrying) patch built so the legacy
+    # path cannot later reuse a tree this repair is about to move.
+    row.children = None
+    n = len(dist)
+    if not full and row.cutoff is None:
+        row.cutoff = max(
+            (dist[v] for v in range(n) if settled[v]), default=0.0
+        )
+    affect = bytearray(n)
+    affected: List[int] = []
+    if roots:
+        stack = []
+        for r in roots:
+            if not affect[r]:
+                affect[r] = 1
+                stack.append(r)
+        while stack:
+            v = stack.pop()
+            affected.append(v)
+            for w, u in adjacency[v]:
+                if parent[u] == v and not affect[u]:
+                    affect[u] = 1
+                    stack.append(u)
+    fast: List[Tuple[int, int]] = []
+    for leaf, anchor in leafs:
+        if not affect[leaf]:
+            fast.append((leaf, anchor))
+    if affected:
+        for v in affected:
+            dist[v] = INF
+            parent[v] = -1
+        heap: List[Tuple[float, int]] = []
+        push = heapq.heappush
+        pop = heapq.heappop
+        if full:
+            for v in affected:
+                best = INF
+                best_parent = -1
+                for w, u in adjacency[v]:
+                    if not affect[u]:
+                        nd = dist[u] + w
+                        if nd < best:
+                            best = nd
+                            best_parent = u
+                if best_parent >= 0:
+                    dist[v] = best
+                    parent[v] = best_parent
+                    push(heap, (best, v))
+        else:
+            for v in affected:
+                best = INF
+                best_parent = -1
+                for w, u in adjacency[v]:
+                    if not affect[u] and settled[u]:
+                        nd = dist[u] + w
+                        if nd < best:
+                            best = nd
+                            best_parent = u
+                if best_parent >= 0:
+                    dist[v] = best
+                    parent[v] = best_parent
+                    push(heap, (best, v))
+        while heap:
+            d, v = pop(heap)
+            if d > dist[v]:
+                continue
+            for w, u in adjacency[v]:
+                if affect[u]:
+                    nd = d + w
+                    if nd < dist[u]:
+                        dist[u] = nd
+                        parent[u] = v
+                        push(heap, (nd, u))
+        if not full:
+            cutoff = row.cutoff
+            for v in affected:
+                # Demotion contract: a repaired label strictly above the
+                # original settle frontier may route through never-settled
+                # territory, so it is demoted; a label exactly *on* the
+                # cutoff is still provably exact (any path through
+                # never-settled territory costs at least the cutoff) and
+                # stays settled.  Must match :func:`_repair_row` exactly.
+                settled[v] = 1 if dist[v] <= cutoff else 0
+    for leaf, anchor in fast:
+        d = dist[anchor]
+        if d == INF:
+            # The anchor itself is unreachable; mirror the legacy seeding,
+            # which finds no boundary parent and leaves the leaf detached.
+            dist[leaf] = INF
+            parent[leaf] = -1
+        else:
+            dist[leaf] = d + adjacency[leaf][0][0]
+    return affected
+
+
 class _Row:
     """One cached single-source result inside :class:`FrozenOracle`.
 
@@ -782,6 +1047,7 @@ class FrozenOracle:
         graph: Graph,
         hot: Optional[Iterable[Node]] = None,
         patchable: bool = False,
+        planner: bool = True,
     ) -> None:
         self._graph = graph
         self._hot: set = set(hot) if hot is not None else set()
@@ -791,11 +1057,33 @@ class FrozenOracle:
         #: values are bit-identical either way -- exhaustion only extends
         #: the relaxation sequence beyond the early stop point.
         self._patchable = patchable
+        #: ``planner=True`` (the default) drives row repairs from a shared
+        #: per-patch :class:`_PatchPlan`; ``planner=False`` keeps the
+        #: historical per-row rescan repair as the equivalence reference.
+        #: Served results are bit-identical either way.
+        self._planner = planner
         self._core: Optional[IndexedGraph] = None
         self._contracted: Optional[_ContractedCore] = None
         self._built = False
         self._hot_ids: List[int] = []
         self._rows: Dict[int, _Row] = {}
+        #: Inverted tree-edge index for the planner: canonical id pair ->
+        #: set of cached-row sources whose parent tree (possibly) uses the
+        #: pair as a tree edge.  Lazily maintained: built only once the
+        #: workload proves sparse (see :data:`PLANNER_INDEX_MIN_ROWS`),
+        #: dropped again when patches start touching most rows, and kept
+        #: as an over-approximation in between -- entries are added
+        #: eagerly when trees gain an edge and pruned opportunistically
+        #: when a changed pair is looked up, so a stale entry costs one
+        #: parent check, while a missing entry would skip a required
+        #: repair and is never allowed.
+        self._tree_index: Optional[Dict[Tuple[int, int], set]] = None
+        #: Rows already registered in ``_tree_index``, by identity --
+        #: a replaced ``_Row`` object is re-registered on reconcile.
+        self._indexed: Dict[int, _Row] = {}
+        #: Consecutive planned patches that repaired at most a quarter of
+        #: the live rows -- the build trigger for the tree-edge index.
+        self._index_low_hits = 0
         self._slow_rows: Dict[Node, Tuple[Dict[Node, float], Dict[Node, Node]]] = {}
         self._queries: Dict[int, int] = {}
         self._paths: Dict[Tuple[Node, Node], List[Node]] = {}
@@ -887,6 +1175,9 @@ class FrozenOracle:
         self._built = False
         self._hot_ids = []
         self._rows.clear()
+        self._tree_index = None
+        self._indexed.clear()
+        self._index_low_hits = 0
         self._slow_rows.clear()
         self._queries.clear()
         self._paths.clear()
@@ -908,7 +1199,10 @@ class FrozenOracle:
         tree edge or reachable from a decreased edge is recomputed) instead
         of recomputed from scratch; a row is evicted only when its repair
         cannot be bounded (an improving decrease against an early-stopped
-        row).
+        row).  With ``planner=True`` (the default) the changed batch is
+        classified once per patch into a shared :class:`_PatchPlan` that
+        drives every row's repair; ``planner=False`` keeps the historical
+        per-row rescans, bit-identically.
 
         Returns the number of edges whose cost actually changed.
         """
@@ -961,26 +1255,173 @@ class FrozenOracle:
 
         ``changes`` holds ``(a, b, old_w, new_w)`` in the active core's id
         space; ``adjacency`` is that core's already-patched per-node rows.
-        Each cached row is repaired in place by :func:`_repair_row`; rows
-        whose repair cannot be bounded are dropped.  Every survivor is
+        Rows whose repair cannot be bounded are dropped; every survivor is
         marked :attr:`_Row.stale`: its distances and tree are exact under
         the new costs, with tie-breaks possibly differing from a cold
         rebuild's.
+
+        With the planner (the default), a pure-increase batch -- the whole
+        online workload, where loads only grow -- is classified once into
+        a shared :class:`_PatchPlan` and only rows that actually use a
+        changed edge as a tree edge are repaired.  Those rows are found
+        through the inverted tree-edge index while the workload is sparse
+        (most patches miss most rows) and through one cheap scan pass
+        otherwise -- see :data:`PLANNER_INDEX_MIN_ROWS` for the adaptive
+        policy.  Batches carrying a decrease fall back to the per-row
+        reference repair: a decrease moves parents mid-repair, so root
+        classification stops being row-independent.  ``planner=False``
+        always takes the per-row path.
         """
-        increases = [(a, b) for a, b, old, new in changes if new > old]
-        decreases = [(a, b, new) for a, b, old, new in changes if new < old]
+        plan = _PatchPlan(adjacency, changes)
+        increases = plan.increases
+        decreases = plan.decreases
         if not increases and not decreases:
             return
-        for source_id, row in list(self._rows.items()):
+        rows = self._rows
+        if not self._planner or decreases:
+            if self._planner:
+                # The per-row reference repair moves parents without
+                # telling the index; drop it and require a fresh sparse
+                # streak, or a workload alternating mixed and pure
+                # -increase patches would pay a wholesale index rebuild
+                # on every planned patch.
+                self._tree_index = None
+                self._indexed.clear()
+                self._index_low_hits = 0
+            for source_id, row in list(rows.items()):
+                if not row.used:
+                    # Idle for a whole patch interval: recompute on demand
+                    # (exactly the rebuild path) instead of repairing
+                    # forever.
+                    del rows[source_id]
+                elif _repair_row(adjacency, row, increases, decreases):
+                    row.stale = True
+                    row.used = False
+                else:
+                    del rows[source_id]
+            return
+
+        # Planned pure-increase patch: classify once, then repair only the
+        # rows the plan names.  The index engages only after a streak of
+        # sparse patches (see the module constants): one-shot patches (a
+        # ``rebased`` clone's) and dense workloads -- e.g. the online
+        # simulator's VM attachment edges, which sit in every row's tree
+        # -- classify with a single scan pass instead, which costs
+        # O(rows x changes) against the index's O(rows x nodes) build.
+        general_roots: Dict[int, List[int]] = {}
+        leaf_jobs: Dict[int, List[Tuple[int, int]]] = {}
+        index: Optional[Dict[Tuple[int, int], set]] = None
+        if (
+            self._tree_index is not None
+            or self._index_low_hits >= PLANNER_INDEX_BUILD_STREAK
+        ):
+            index = self._reconcile_tree_index()
+            indexed = self._indexed
+            for a, b, leaf in plan.classified:
+                key = (a, b) if a < b else (b, a)
+                candidates = index.get(key)
+                if not candidates:
+                    continue
+                verified = set()
+                for sid in candidates:
+                    row = rows.get(sid)
+                    if row is None or indexed.get(sid) is not row:
+                        continue  # stale entry for an evicted/replaced row
+                    if not row.used:
+                        continue  # evicted below, before any repair
+                    if _route_tree_edge(
+                        row, sid, a, b, leaf, general_roots, leaf_jobs
+                    ):
+                        verified.add(sid)
+                # Write back the verified set: opportunistic pruning keeps
+                # the over-approximation from accumulating dead entries on
+                # the repeatedly-changed (hot) pairs.
+                index[key] = verified
+        else:
+            classified = plan.classified
+            for sid, row in rows.items():
+                if not row.used:
+                    continue
+                for a, b, leaf in classified:
+                    _route_tree_edge(
+                        row, sid, a, b, leaf, general_roots, leaf_jobs
+                    )
+
+        indexed = self._indexed
+        live = 0
+        repaired = 0
+        for sid, row in list(rows.items()):
             if not row.used:
-                # Idle for a whole patch interval: recompute on demand
-                # (exactly the rebuild path) instead of repairing forever.
-                del self._rows[source_id]
-            elif _repair_row(adjacency, row, increases, decreases):
-                row.stale = True
-                row.used = False
-            else:
-                del self._rows[source_id]
+                del rows[sid]
+                if indexed.pop(sid, None) is not None and index is not None:
+                    # Shed the evicted row's registrations, or buckets on
+                    # never-re-patched pairs would accumulate dead sids
+                    # for the lifetime of the index (long simulators
+                    # evict thousands of per-request rows).  Entries from
+                    # pre-repair trees of the row may survive this walk;
+                    # they are pruned opportunistically at lookup.
+                    parent = row.parent
+                    for v, p in enumerate(parent):
+                        if p >= 0:
+                            bucket = index.get((v, p) if v < p else (p, v))
+                            if bucket is not None:
+                                bucket.discard(sid)
+                continue
+            live += 1
+            roots = general_roots.get(sid)
+            leafs = leaf_jobs.get(sid)
+            if roots or leafs:
+                repaired += 1
+                affected = _repair_row_planned(
+                    adjacency, row, roots or (), leafs or ()
+                )
+                if index is not None and affected:
+                    parent = row.parent
+                    for v in affected:
+                        p = parent[v]
+                        if p >= 0:
+                            _index_add(index, v, p, sid)
+            row.stale = True
+            row.used = False
+
+        # Adaptive index policy: keep the index only while patches repair
+        # a minority of the live rows; arm a build only after a streak of
+        # sparse patches over a row set worth indexing.
+        if index is not None:
+            if repaired * 2 >= live:
+                self._tree_index = None
+                self._indexed.clear()
+                self._index_low_hits = 0
+        elif live >= PLANNER_INDEX_MIN_ROWS and repaired * 4 <= live:
+            self._index_low_hits += 1
+        else:
+            self._index_low_hits = 0
+
+    def _reconcile_tree_index(self) -> Dict[Tuple[int, int], set]:
+        """Bring the inverted tree-edge index up to date with the rows.
+
+        New or replaced ``_Row`` objects (cold misses, stale-row
+        recomputes, ``distances_from`` upgrades) are registered wholesale;
+        registrations of vanished rows are dropped.  Entries of a row that
+        was *repaired* in place stay maintained incrementally by the
+        caller, so reconciliation is O(tree) only per changed row.
+        """
+        index = self._tree_index
+        if index is None:
+            index = self._tree_index = {}
+        indexed = self._indexed
+        rows = self._rows
+        for sid, row in rows.items():
+            if not row.used:
+                continue  # evicted by this patch before any lookup
+            if indexed.get(sid) is not row:
+                for v, p in enumerate(row.parent):
+                    if p >= 0:
+                        _index_add(index, v, p, sid)
+                indexed[sid] = row
+        for sid in [s for s in indexed if s not in rows]:
+            del indexed[sid]
+        return index
 
     def rebased(
         self, graph: Graph, changed: Mapping[Tuple[Node, Node], float]
@@ -993,8 +1434,15 @@ class FrozenOracle:
         :meth:`patch_edge_costs` contract) is then applied.  The dynamic
         adjustments use this to reroute on updated costs while leaving the
         original instance and its oracle untouched.
+
+        The clone inherits the repair mode (``planner`` flag) but not the
+        inverted tree-edge index: its immediate patch classifies with a
+        scan pass, so one-shot clones never pay for an index build.
         """
-        clone = FrozenOracle(graph, hot=self._hot, patchable=self._patchable)
+        clone = FrozenOracle(
+            graph, hot=self._hot, patchable=self._patchable,
+            planner=self._planner,
+        )
         if self._built:
             clone._built = True
             clone._hot_ids = list(self._hot_ids)

@@ -21,7 +21,7 @@ from repro.core.dynamic import reroute_congested_link
 from repro.core.forest import ServiceOverlayForest
 from repro.core.problem import SOFInstance
 from repro.costmodel import LoadTracker
-from repro.graph.graph import canonical_edge
+from repro.graph.graph import canonical_edge, edge_sort_key
 
 Node = Hashable
 
@@ -31,13 +31,23 @@ def congested_forest_links(
     tracker: LoadTracker,
     threshold: float = 0.9,
 ) -> List[Tuple[Node, Node]]:
-    """Links of the forest whose utilisation exceeds ``threshold``."""
+    """Links of the forest whose utilisation *strictly* exceeds ``threshold``.
+
+    The boundary matches :meth:`~repro.costmodel.LoadTracker
+    .congested_links` exactly: a link sitting precisely at ``threshold``
+    utilisation is NOT congested, so the tracker and the rerouting layer
+    can never disagree about it.  The result is ordered by the canonical
+    edge key (:func:`~repro.graph.graph.edge_sort_key`), which stays
+    deterministic across mixed node types -- sorting on ``repr`` would,
+    e.g., order an integer link ``(2, 10)`` before ``(2, 9)`` and shuffle
+    tuple-named VM links among plain switch ids.
+    """
     used = set(forest.tree_edges)
     for chain in forest.chains:
         for a, b in chain.all_edges():
             used.add(canonical_edge(a, b))
     hot = set(tracker.congested_links(threshold))
-    return sorted(used & hot, key=repr)
+    return sorted(used & hot, key=edge_sort_key)
 
 
 def reroute_forest_around_congestion(
@@ -48,10 +58,13 @@ def reroute_forest_around_congestion(
 ) -> Tuple[SOFInstance, ServiceOverlayForest, int]:
     """Make-before-break reroute of every congested link the forest uses.
 
-    Returns ``(instance, forest, links_rerouted)``; the instance carries
-    the updated link costs.  Congested links are processed worst-first and
-    at most ``max_links`` per invocation (the controller batches repairs,
-    as the paper's adaptive-routing references do).
+    A link counts as congested when its utilisation is *strictly* above
+    ``threshold`` (the :class:`LoadTracker` boundary; exactly-at-threshold
+    links are left alone).  Returns ``(instance, forest,
+    links_rerouted)``; the instance carries the updated link costs.
+    Congested links are processed worst-first and at most ``max_links``
+    per invocation (the controller batches repairs, as the paper's
+    adaptive-routing references do).
     """
     instance = forest.instance
     current = forest

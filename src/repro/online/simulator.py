@@ -51,6 +51,7 @@ class OnlineSimulator:
         vm_capacity: float = 5.0,
         cost_floor: float = 0.01,
         incremental: bool = True,
+        planner: bool = True,
     ) -> None:
         self._network = network
         self._tracker = LoadTracker(
@@ -59,8 +60,12 @@ class OnlineSimulator:
         self._cost_floor = cost_floor
         # ``incremental=False`` falls back to a full oracle rebuild per
         # cost change -- the pre-patch behaviour, kept as the benchmark
-        # and equivalence-test reference.
+        # and equivalence-test reference.  ``planner=False`` keeps
+        # incremental patching but repairs rows with the historical
+        # per-row rescans instead of the shared per-patch plan (the
+        # planner-vs-per-row benchmark and equivalence reference).
         self._incremental = incremental
+        self._planner = planner
 
         # Build the working graph once: access topology + fixed VM pool.
         graph = network.graph.copy()
@@ -81,7 +86,8 @@ class OnlineSimulator:
         # Incremental simulators expect per-request cost churn, so their
         # oracle computes patch-repairable (exhaustive) rows.
         self._oracle = FrozenOracle(
-            graph, hot=self._vms, patchable=self._incremental
+            graph, hot=self._vms, patchable=self._incremental,
+            planner=self._planner,
         )
 
     @property

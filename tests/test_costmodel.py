@@ -99,6 +99,25 @@ def test_congestion_queries():
     assert list(tracker.overloaded_nodes()) == ["vm"]
 
 
+def test_congestion_threshold_boundary_is_strict():
+    """Exactly-at-threshold utilisation is NOT congested/overloaded.
+
+    The documented boundary is strict ``>``; the rerouting layer shares
+    it, so a link or host sitting precisely on the 0.9 default can never
+    be classified differently by the two layers.
+    """
+    tracker = LoadTracker(link_capacity=100.0, node_capacity=5.0)
+    tracker.add_link_load(0, 1, 90.0)  # exactly 0.9 utilisation
+    tracker.add_node_load("vm", 4.5)   # exactly 0.9 utilisation
+    assert list(tracker.congested_links()) == []
+    assert list(tracker.overloaded_nodes()) == []
+    # One epsilon of extra load tips both over.
+    tracker.add_link_load(0, 1, 1e-9)
+    tracker.add_node_load("vm", 1e-9)
+    assert list(tracker.congested_links()) == [(0, 1)]
+    assert list(tracker.overloaded_nodes()) == ["vm"]
+
+
 def test_apply_to_graph_floor():
     tracker = LoadTracker()
     g = Graph.from_edges([(0, 1, 5.0)])

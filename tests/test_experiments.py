@@ -77,6 +77,33 @@ def test_run_sweep_workers_matches_serial():
         assert all(t >= 0 for t in pooled.mean_runtime_s[name])
 
 
+def test_run_sweep_warns_once_without_fork(monkeypatch):
+    """Platforms without fork fall back to serial -- loudly, once."""
+    import warnings
+
+    from repro.experiments import harness
+
+    monkeypatch.setattr(
+        harness.multiprocessing, "get_all_start_methods", lambda: ["spawn"]
+    )
+    monkeypatch.setattr(harness, "_warned_no_fork", False)
+    network = softlayer_network(seed=1)
+    kwargs = dict(
+        parameter="num_vms", values=[5, 10], seeds=1,
+        overrides={"num_sources": 2, "num_destinations": 2,
+                   "chain_length": 2},
+    )
+    with pytest.warns(RuntimeWarning, match="fork.*unavailable"):
+        fallback = run_sweep(network, workers=4, **kwargs)
+    # The fallback still evaluates every cell -- serially and exactly.
+    serial = run_sweep(network, **kwargs)
+    assert fallback.mean_cost == serial.mean_cost
+    # Only the first sweep reports; repeats stay quiet.
+    with warnings.catch_warnings():
+        warnings.simplefilter("error", RuntimeWarning)
+        run_sweep(network, workers=4, **kwargs)
+
+
 def test_run_sweep_workers_custom_algorithms():
     """Fork inheritance carries even lambda embedders to the workers."""
     from repro.core.sofda import sofda

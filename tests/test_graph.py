@@ -3,7 +3,7 @@
 import pytest
 
 from repro.graph import Graph
-from repro.graph.graph import canonical_edge
+from repro.graph.graph import canonical_edge, edge_sort_key, node_sort_key
 
 
 def test_add_and_query_edges():
@@ -118,3 +118,28 @@ def test_canonical_edge_mixed_types():
     a = canonical_edge("x", ("vm", 1))
     b = canonical_edge(("vm", 1), "x")
     assert a == b
+
+
+def test_node_sort_key_numeric_order():
+    # repr-sorting puts 10 before 9; the canonical key keeps numeric order.
+    assert sorted([10, 9, 2], key=node_sort_key) == [2, 9, 10]
+    assert sorted([1.5, 0.25, 10.0], key=node_sort_key) == [0.25, 1.5, 10.0]
+    # Ints and floats share one numeric group: order stays numeric even
+    # when the types are mixed.
+    assert sorted([2.5, 1, 3], key=node_sort_key) == [1, 2.5, 3]
+
+
+def test_node_sort_key_mixed_types_total_order():
+    nodes = [("vm", 10, 0), ("vm", 9, 0), "switch", 7, 10, ("vm", 2)]
+    ordered = sorted(nodes, key=node_sort_key)
+    # Sorting never raises across types, is deterministic, and numeric
+    # components inside tuples keep numeric order too.
+    assert ordered == sorted(ordered, key=node_sort_key)
+    assert ordered.index(7) < ordered.index(10)
+    assert ordered.index(("vm", 9, 0)) < ordered.index(("vm", 10, 0))
+
+
+def test_edge_sort_key_numeric_order():
+    edges = [(2, 10), (2, 9), ("s", ("vm", 0, 1))]
+    ordered = sorted(edges, key=edge_sort_key)
+    assert ordered.index((2, 9)) < ordered.index((2, 10))

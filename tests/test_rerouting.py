@@ -4,7 +4,7 @@ import pytest
 
 from repro import check_forest, sofda
 from repro.costmodel import LoadTracker
-from repro.graph.graph import canonical_edge
+from repro.graph.graph import canonical_edge, edge_sort_key
 from repro.online import (
     OnlineSimulator,
     RequestGenerator,
@@ -54,6 +54,51 @@ def test_reroute_produces_feasible_forest(embedded_with_tracker):
     check_forest(instance, rerouted)
     # The congested link's updated cost is reflected in the new instance.
     assert instance.graph.cost(*edge) == pytest.approx(tracker.link_cost(*edge))
+
+
+class _StubForest:
+    """Just enough forest surface for ``congested_forest_links``."""
+
+    def __init__(self, tree_edges):
+        self.tree_edges = set(tree_edges)
+        self.chains = []
+
+
+def test_congested_links_sorted_by_canonical_key_mixed_types():
+    """Regression: the result order must survive mixed node types.
+
+    Sorting on ``repr`` ordered integer link ``(2, 10)`` before ``(2, 9)``
+    (string order) and shuffled tuple-named VM links among plain ids; the
+    canonical edge key keeps numeric order and never compares across
+    types natively.
+    """
+    edges = [
+        canonical_edge(2, 9),
+        canonical_edge(2, 10),
+        canonical_edge("dc", ("vm", 0, 1)),
+        canonical_edge("dc", ("vm", 0, 0)),
+    ]
+    forest = _StubForest(edges)
+    tracker = LoadTracker(link_capacity=100.0)
+    for edge in edges:
+        tracker.add_link_load(*edge, 95.0)
+    hot = congested_forest_links(forest, tracker)
+    assert set(hot) == set(edges)
+    assert hot == sorted(edges, key=edge_sort_key)
+    assert hot.index(canonical_edge(2, 9)) < hot.index(canonical_edge(2, 10))
+
+
+def test_congested_links_threshold_boundary_matches_tracker():
+    """A link at exactly 0.9 utilisation is congested in neither layer."""
+    edge = canonical_edge("a", "b")
+    forest = _StubForest([edge])
+    tracker = LoadTracker(link_capacity=100.0)
+    tracker.add_link_load(*edge, 90.0)  # exactly the default threshold
+    assert list(tracker.congested_links()) == []
+    assert congested_forest_links(forest, tracker) == []
+    tracker.add_link_load(*edge, 1e-9)
+    assert list(tracker.congested_links()) == [edge]
+    assert congested_forest_links(forest, tracker) == [edge]
 
 
 def test_reroute_respects_max_links(embedded_with_tracker):
