@@ -19,6 +19,13 @@ tracks the *repo's own* performance trajectory.  It measures:
   (``OnlineSimulator(planner=False)``) -- the acceptance metric for the
   patch-planner PR, where the per-row path's O(rows x nodes) children-
   list state is the dominant repair cost;
+- ``online_dense_patch_s`` / ``online_dense_patch_unshared_s``: a dense-
+  patch online trace (hub-and-pods topology whose hot uplinks sit in
+  *every* cached row's shortest-path tree; background churn re-prices a
+  few uplinks between embeddings) replayed with and without cross-row
+  region sharing (``OnlineSimulator(share_regions=False)``) -- the
+  acceptance metric for the region-sharing PR, where rediscovering the
+  same detached region once per row is the dominant repair cost;
 - ``sweep_slice_s`` / ``sweep_serial_s``: a small ``run_sweep`` slice with
   ``workers=4`` vs serial (speedup needs a multi-core runner; single-core
   CI only checks the outputs match).
@@ -30,9 +37,10 @@ full-rebuild / serial timings recorded when the incremental paths landed).
 The bench never fails on timings (CI runs it as a smoke test); it prints
 the measured ratios instead.  Set ``SOF_PERF_STRICT=1`` to make the
 *correctness* anchors hard failures: the largest-cell forest cost and the
-online-trace costs must match the committed baselines, and the planned
+online-trace costs must match the committed baselines, the planned
 repair path must stay bit-identical to the per-row reference on the
-many-rows trace.
+many-rows trace, and the region-shared repair must stay bit-identical
+to the unshared planned path on the dense-patch trace.
 """
 
 from __future__ import annotations
@@ -40,6 +48,7 @@ from __future__ import annotations
 import gc
 import json
 import os
+import random
 import time
 from pathlib import Path
 
@@ -48,10 +57,11 @@ from _util import shape_check
 from repro.core.problem import ServiceChain
 from repro.core.sofda import sofda
 from repro.experiments import run_sweep
-from repro.graph import FrozenOracle
+from repro.graph import FrozenOracle, Graph
 from repro.graph.shortest_paths import dijkstra
 from repro.online import OnlineSimulator, RequestGenerator
 from repro.topology import inet_network, softlayer_network
+from repro.topology.network import CloudNetwork
 
 RESULTS_PATH = Path(__file__).resolve().parents[1] / "BENCH_perf_core.json"
 
@@ -146,6 +156,102 @@ def _run_many_rows_trace(planner: bool):
     return costs, elapsed
 
 
+#: Dense-patch trace shape: pods (layered, chord-dense aggregation
+#: subtrees) hang off one hub by a single uplink each, so every churned
+#: uplink is a tree edge in *every* cached row -- the dense-patch case
+#: region sharing exists for.  Pod nodes keep degree >= 3 so degree-2
+#: chain contraction stays out of the picture.
+_DENSE_PODS = 40
+_DENSE_POD_WIDTH = 4
+_DENSE_POD_LEVELS = 3
+_DENSE_DCS = 120
+_DENSE_REQUESTS = 3
+_DENSE_CHURN_ROUNDS = 45
+_DENSE_CHURN_LINKS = 4
+
+
+def _dense_patch_network():
+    """Hub-and-pods access topology with single-uplink aggregation pods."""
+    graph = Graph()
+    graph.add_node("hub")
+    dcs = []
+    for j in range(_DENSE_DCS):
+        dc = ("dc", j)
+        graph.add_edge("hub", dc, 1.0)
+        dcs.append(dc)
+    for i in range(_DENSE_PODS):
+        gateway = ("gw", i)
+        graph.add_edge("hub", gateway, 1.0)
+        prev_level = [gateway]
+        for k in range(_DENSE_POD_LEVELS):
+            level = [("pod", i, k, w) for w in range(_DENSE_POD_WIDTH)]
+            for node in level:
+                for prev in prev_level:
+                    graph.add_edge(node, prev, 1.0)
+            prev_level = level
+    return CloudNetwork(name="dense-pods", graph=graph, datacenters=dcs)
+
+
+def _run_dense_patch_trace(share: bool):
+    """Replay a churn-heavy online trace over the hub-and-pods topology.
+
+    Between embeddings, background (cross-tenant) load keeps re-pricing a
+    rotating handful of pod uplinks -- hot shared links that are tree
+    edges in every one of the ~600 cached VM-pool rows, so every patch
+    repairs the whole cache and the repair engine dominates the loop.
+    With ``share_regions=True`` each detached pod region is discovered
+    and seeded once per patch instead of once per row; the unshared run
+    is the PR-3 planned path, kept as the equivalence reference.  Pod
+    internals carry distinct standing loads (heterogeneous steady-state
+    utilisation), so shortest-path trees are unique and region sharing
+    is exercised on stable signatures.  Setup, the standing-load
+    assignment and the first (cache-warming) request stay outside the
+    timed window.  Returns ``(costs, elapsed_seconds)``.
+    """
+    network = _dense_patch_network()
+    simulator = OnlineSimulator(
+        network, vms_per_datacenter=5, incremental=True, planner=True,
+        share_regions=share,
+    )
+    rng = random.Random(7)
+    pod_internals = sorted(
+        (
+            (u, v)
+            for u, v, _ in network.graph.edges()
+            if u != "hub" and v != "hub"
+        ),
+        key=repr,
+    )
+    for u, v in pod_internals:
+        simulator.tracker.add_link_load(u, v, 1.0 + rng.random())
+    generator = RequestGenerator(
+        network, seed=0, destinations_range=(2, 3), sources_range=(1, 1),
+        chain_length=1,
+    )
+    requests = generator.take(_DENSE_REQUESTS)
+    uplinks = [("hub", ("gw", i)) for i in range(_DENSE_PODS)]
+    costs = [simulator.embed(requests[0], lambda inst: sofda(inst).forest)]
+    gc.collect()  # the timed window should not pay for earlier sections
+    start = time.perf_counter()
+    tick = 0
+    for request in requests[1:]:
+        for _ in range(_DENSE_CHURN_ROUNDS):
+            batch = [
+                uplinks[(tick + j * 7) % len(uplinks)]
+                for j in range(_DENSE_CHURN_LINKS)
+            ]
+            tick += 1
+            simulator.apply_background_load(batch, demand_mbps=0.5)
+        costs.append(simulator.embed(request, lambda inst: sofda(inst).forest))
+    elapsed = time.perf_counter() - start
+    rejected = [i for i, cost in enumerate(costs) if cost is None]
+    assert not rejected, (
+        f"dense-patch trace requests {rejected} were rejected "
+        f"(share={share}); the trace must embed all {_DENSE_REQUESTS}"
+    )
+    return costs, elapsed
+
+
 def _run_sweep_slice(network, workers: int):
     """One tracked sweep slice; returns ``(result, elapsed_seconds)``.
 
@@ -209,6 +315,15 @@ def run_perf_core() -> dict:
         planner_costs, elapsed = _run_many_rows_trace(planner=True)
         many_rows_planner_s = min(many_rows_planner_s, elapsed)
 
+    # Same interleaved best-of-two for the shared-vs-unshared ratio, the
+    # region-sharing acceptance metric.
+    dense_unshared_s = dense_shared_s = float("inf")
+    for _ in range(2):
+        unshared_costs, elapsed = _run_dense_patch_trace(share=False)
+        dense_unshared_s = min(dense_unshared_s, elapsed)
+        shared_costs, elapsed = _run_dense_patch_trace(share=True)
+        dense_shared_s = min(dense_shared_s, elapsed)
+
     sweep_network = softlayer_network(seed=1)
     sweep_serial, sweep_serial_s = _run_sweep_slice(sweep_network, workers=1)
     sweep_pooled, sweep_pooled_s = _run_sweep_slice(sweep_network, workers=4)
@@ -231,6 +346,12 @@ def run_perf_core() -> dict:
         "online_many_rows_planner_drift": max(
             abs(a - b) for a, b in zip(planner_costs, perrow_costs)
         ),
+        "online_dense_patch_s": round(dense_shared_s, 4),
+        "online_dense_patch_unshared_s": round(dense_unshared_s, 4),
+        "online_dense_patch_cost": sum(shared_costs),
+        "online_dense_patch_share_drift": max(
+            abs(a - b) for a, b in zip(shared_costs, unshared_costs)
+        ),
         "sweep_slice_s": round(sweep_pooled_s, 4),
         "sweep_serial_s": round(sweep_serial_s, 4),
         "sweep_outputs_match": (
@@ -252,7 +373,8 @@ def test_perf_core(once):
     seed = record.get("seed", {})
     print("\nPerf core -- seed vs latest")
     for key in ("dict_dijkstra_ms", "oracle_row_ms", "sofda_largest_s",
-                "online_trace_s", "online_many_rows_s", "sweep_slice_s"):
+                "online_trace_s", "online_many_rows_s",
+                "online_dense_patch_s", "sweep_slice_s"):
         before = seed.get(key)
         after = measured[key]
         ratio = f"  ({before / after:.2f}x)" if before else ""
@@ -266,6 +388,11 @@ def test_perf_core(once):
         f"  many-rows trace: per-row {measured['online_many_rows_perrow_s']}s"
         f" -> planner {measured['online_many_rows_s']}s"
         f" ({measured['online_many_rows_perrow_s'] / measured['online_many_rows_s']:.2f}x)"
+    )
+    print(
+        f"  dense-patch trace: unshared {measured['online_dense_patch_unshared_s']}s"
+        f" -> shared {measured['online_dense_patch_s']}s"
+        f" ({measured['online_dense_patch_unshared_s'] / measured['online_dense_patch_s']:.2f}x)"
     )
     print(
         f"  sweep slice: serial {measured['sweep_serial_s']}s"
@@ -296,6 +423,15 @@ def test_perf_core(once):
         or abs(measured["online_many_rows_cost"]
                - seed["online_many_rows_cost"]) <= 1e-6
     )
+    # Region sharing reuses verified-identical detached regions, so the
+    # dense-patch trace must not diverge from the unshared planned path
+    # by even an ulp.
+    share_ok = measured["online_dense_patch_share_drift"] == 0.0
+    dense_baseline_ok = (
+        seed.get("online_dense_patch_cost") is None
+        or abs(measured["online_dense_patch_cost"]
+               - seed["online_dense_patch_cost"]) <= 1e-6
+    )
     if _strict():
         assert cost_ok, "largest-cell forest cost drifted from the baseline"
         assert trace_ok, "patched online trace diverged from full rebuild"
@@ -306,6 +442,13 @@ def test_perf_core(once):
         )
         assert many_rows_baseline_ok, (
             "many-rows trace cost drifted from the baseline"
+        )
+        assert share_ok, (
+            "region-shared repair diverged from the unshared planned "
+            "path on the dense-patch trace"
+        )
+        assert dense_baseline_ok, (
+            "dense-patch trace cost drifted from the baseline"
         )
         assert measured["sweep_outputs_match"], "pooled sweep != serial sweep"
     shape_check("forest cost unchanged on the seeded largest cell", cost_ok)
@@ -331,6 +474,15 @@ def test_perf_core(once):
         "many-rows trace at least 1.3x faster with the patch planner",
         measured["online_many_rows_s"] * 1.3
         <= measured["online_many_rows_perrow_s"],
+    )
+    shape_check("dense-patch trace: shared == unshared, bit-identical forests",
+                share_ok)
+    shape_check("dense-patch trace cost matches committed baseline",
+                dense_baseline_ok)
+    shape_check(
+        "dense-patch trace at least 1.2x faster with region sharing",
+        measured["online_dense_patch_s"] * 1.2
+        <= measured["online_dense_patch_unshared_s"],
     )
     shape_check("pooled sweep output identical to serial",
                 measured["sweep_outputs_match"])

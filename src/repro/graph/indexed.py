@@ -46,6 +46,18 @@ inverted pair->rows index) -- and a *repairer*
 (:func:`_repair_row_planned`) that applies the plan to one row.  The
 historical per-row rescan (:func:`_repair_row`) is kept, bit-identical,
 behind ``planner=False`` as the equivalence reference.
+
+*Dense* patches -- a changed edge sitting in most rows' shortest-path
+trees, the online workload's hot shared links -- additionally share the
+repair bookkeeping across rows: rows detaching the same region (same
+detached child, same detached-side node set; the region is the child's
+subtree regardless of which changed pair detached it) are grouped
+behind one :class:`_SharedRegion`, whose node list, membership mask,
+boundary seed lists and region-internal adjacency are computed once per
+group and reused by every member row's re-dijkstra (see
+:data:`PLANNER_SHARE_MIN_ROWS` / :data:`PLANNER_SHARE_DENSITY` for the
+engagement policy).  ``share_regions=False`` keeps the per-row region
+rediscovery, bit-identically, as the equivalence reference.
 """
 
 from __future__ import annotations
@@ -53,7 +65,7 @@ from __future__ import annotations
 import heapq
 from typing import Dict, FrozenSet, Hashable, Iterable, List, Mapping, Optional, Tuple
 
-from repro.graph.graph import Graph
+from repro.graph.graph import Graph, canonical_edge
 from repro.graph.shortest_paths import dijkstra as _dict_dijkstra
 
 Node = Hashable
@@ -89,6 +101,25 @@ _DISTINCT_COST_SAMPLE = 2048
 #: drops the index again as soon as one patch repairs half of them.
 PLANNER_INDEX_MIN_ROWS = 64
 PLANNER_INDEX_BUILD_STREAK = 3
+
+#: Region-sharing policy for dense patches.  A changed pair whose
+#: detached child is a tree-edge child in at least
+#: :data:`PLANNER_SHARE_MIN_ROWS` rows *and* at least
+#: :data:`PLANNER_SHARE_DENSITY` of the live rows gets a shared-region
+#: group: the detached region's node set, boundary seed lists and
+#: internal adjacency are computed once per (pair, region signature) and
+#: reused by every member row instead of being rediscovered per row.
+#: Below the thresholds the per-patch group bookkeeping would cost more
+#: than the per-row walks it replaces.
+PLANNER_SHARE_MIN_ROWS = 24
+PLANNER_SHARE_DENSITY = 0.5
+
+#: How many distinct region variants one dense root may accumulate per
+#: patch before later non-matching rows fall back to the per-row walk
+#: (equal-cost ties or mid-stream repairs can fragment the region
+#: signature across rows; unbounded variants would turn the
+#: verification scan into the dominant cost).
+_PLANNER_SHARE_MAX_VARIANTS = 4
 
 
 def _costs_mostly_distinct(graph: Graph) -> bool:
@@ -980,6 +1011,306 @@ def _repair_row_planned(
     return affected
 
 
+class _SharedRegion:
+    """One detached region -- a dense root's subtree -- shared across rows.
+
+    Scoped to a single patch (the stored boundary/internal weights are
+    only valid until the next weight change).  Built from the first
+    member row's child walk; every later row *verifies* membership in
+    O(region + boundary) -- strictly less than rediscovering the region
+    from the adjacency -- and then reuses:
+
+    - ``member``: node-membership bytearray, served read-only as the
+      row's ``affect`` set when the row repairs nothing else;
+    - ``nodes``: the region's node list (walk order; order is
+      outcome-irrelevant, every consumer is value-ordered or idempotent);
+    - ``seed_items``: the boundary nodes with their ``(weight,
+      neighbor)`` pairs in adjacency order -- the re-dijkstra seed scan
+      touches only these instead of every region node's full adjacency
+      (a node with no boundary edge can never be seeded);
+    - ``inner``: per region node, its region-internal ``(weight,
+      neighbor)`` pairs, so the re-dijkstra inner loop skips the
+      membership test per edge.
+
+    A row's region equals this one iff every non-root member's parent is
+    a member, the root's parent is not, and no boundary edge points
+    *into* the region (``parent[outside] == inside``): the first two make
+    the member set a subset of the root's subtree (parent chains cannot
+    leave it except through the root), the last makes it a superset
+    (a subtree node outside the member set would have to enter through a
+    boundary edge).
+    """
+
+    __slots__ = ("root", "member", "nodes", "tail", "seed_items", "inner",
+                 "_mask", "_reach_mask")
+
+    def __init__(
+        self,
+        adjacency: List[Tuple[Tuple[float, int], ...]],
+        parent: List[int],
+        root: int,
+        n: int,
+    ) -> None:
+        member = bytearray(n)
+        nodes: List[int] = [root]
+        member[root] = 1
+        stack = [root]
+        while stack:
+            v = stack.pop()
+            for w, u in adjacency[v]:
+                if parent[u] == v and not member[u]:
+                    member[u] = 1
+                    nodes.append(u)
+                    stack.append(u)
+        seed_items: List[Tuple[int, Tuple[Tuple[float, int], ...]]] = []
+        inner: List[Optional[Tuple[Tuple[float, int], ...]]] = [None] * n
+        for v in nodes:
+            out_row = []
+            in_row = []
+            for pair in adjacency[v]:
+                if member[pair[1]]:
+                    in_row.append(pair)
+                else:
+                    out_row.append(pair)
+            if out_row:
+                seed_items.append((v, tuple(out_row)))
+            inner[v] = tuple(in_row)
+        self.root = root
+        self.member = member
+        self.nodes = nodes
+        self.tail = nodes[1:]  # every member but the root
+        self.seed_items = seed_items
+        self.inner = inner
+        self._mask = None
+        self._reach_mask = None
+
+    def matches(self, parent: List[int]) -> bool:
+        """Whether ``parent``'s subtree below ``root`` is exactly this region."""
+        member = self.member
+        p = parent[self.root]
+        if p >= 0 and member[p]:
+            return False
+        for v in self.tail:
+            p = parent[v]
+            if p < 0 or not member[p]:
+                return False
+        for v, seed in self.seed_items:
+            for _, u in seed:
+                if parent[u] == v:
+                    return False
+        return True
+
+    @property
+    def mask(self) -> int:
+        """The member set as a big int (one byte per node, 0/1 values)."""
+        if self._mask is None:
+            self._mask = int.from_bytes(self.member, "little")
+        return self._mask
+
+    @property
+    def reach_mask(self) -> int:
+        """``mask`` extended by the boundary targets (adjacency closure)."""
+        if self._reach_mask is None:
+            reach = bytearray(self.member)
+            for _, seed in self.seed_items:
+                for _, u in seed:
+                    reach[u] = 1
+            self._reach_mask = int.from_bytes(reach, "little")
+        return self._reach_mask
+
+
+def _combine_regions(
+    regions: List[_SharedRegion], n: int
+) -> Tuple[bytearray, Optional[List]]:
+    """Merge several shared regions into one read-only repair context.
+
+    Returns ``(member, inner)``: the union membership bytearray (valid
+    for any region combination, including nested subtrees) and, when the
+    regions are pairwise disjoint *and* non-adjacent -- so no repair path
+    can cross between them directly -- the merged region-internal
+    adjacency; ``inner`` is ``None`` otherwise and the caller's
+    re-dijkstra falls back to membership-tested full-adjacency scans.
+    The adjacency test is one-sided on purpose: an edge between two
+    regions appears in both boundaries, so accumulating ``reach_mask``
+    and testing each next region's ``mask`` against it sees every
+    offending pair.
+    """
+    union = 0
+    for region in regions:
+        union |= region.mask
+    member = bytearray(union.to_bytes(n, "little"))
+    acc = 0
+    mergeable = True
+    for region in regions:
+        if acc & region.mask:
+            mergeable = False
+            break
+        acc |= region.reach_mask
+    inner = None
+    if mergeable:
+        inner = [None] * n
+        for region in regions:
+            region_inner = region.inner
+            for v in region.nodes:
+                inner[v] = region_inner[v]
+    return member, inner
+
+
+def _repair_row_shared(
+    adjacency: List[Tuple[Tuple[float, int], ...]],
+    row: "_Row",
+    hits: List[_SharedRegion],
+    walk_roots: Iterable[int],
+    leafs: Iterable[Tuple[int, int]],
+    union_cache: Dict,
+) -> List[int]:
+    """Apply one plan's increase repairs using shared region structures.
+
+    Bit-identical to :func:`_repair_row_planned` over ``hits``'s roots
+    plus ``walk_roots``: the affected set is the union of the shared
+    regions (verified to equal this row's subtrees) and the per-row walk
+    of any unshared roots; seeding and the re-dijkstra perform the same
+    value-ordered relaxations, reading boundary candidates from the
+    shared seed lists instead of full adjacency scans.  Overlapping
+    (nested-subtree) hits may seed a node twice -- idempotent, the
+    second pass recomputes the same minimum from the same intact
+    neighbors.  The returned affected list is shared and must be treated
+    as read-only by the caller.
+    """
+    dist = row.dist
+    parent = row.parent
+    settled = row.settled
+    full = row.full
+    row.children = None
+    n = len(dist)
+    if not full and row.cutoff is None:
+        row.cutoff = max(
+            (dist[v] for v in range(n) if settled[v]), default=0.0
+        )
+
+    inner = None
+    walked: List[int] = []
+    if not walk_roots:
+        if len(hits) == 1:
+            region = hits[0]
+            affect = region.member  # read-only
+            inner = region.inner
+        else:
+            # Hits follow the plan's classification order, which is the
+            # same for every row, so a plain tuple key hits the cache.
+            key = tuple(map(id, hits))
+            cached = union_cache.get(key)
+            if cached is None:
+                cached = _combine_regions(hits, n)
+                union_cache[key] = cached
+            affect, inner = cached  # read-only
+    else:
+        mask = 0
+        for region in hits:
+            mask |= region.mask
+        affect = bytearray(mask.to_bytes(n, "little"))
+        stack = []
+        for r in walk_roots:
+            if not affect[r]:
+                affect[r] = 1
+                stack.append(r)
+        while stack:
+            v = stack.pop()
+            walked.append(v)
+            for w, u in adjacency[v]:
+                if parent[u] == v and not affect[u]:
+                    affect[u] = 1
+                    stack.append(u)
+
+    for region in hits:
+        for v in region.nodes:
+            dist[v] = INF
+            parent[v] = -1
+    for v in walked:
+        dist[v] = INF
+        parent[v] = -1
+
+    heap: List[Tuple[float, int]] = []
+    push = heapq.heappush
+    pop = heapq.heappop
+    for region in hits:
+        for v, seed in region.seed_items:
+            best = INF
+            best_parent = -1
+            for w, u in seed:
+                if not affect[u] and (full or settled[u]):
+                    nd = dist[u] + w
+                    if nd < best:
+                        best = nd
+                        best_parent = u
+            if best_parent >= 0:
+                dist[v] = best
+                parent[v] = best_parent
+                push(heap, (best, v))
+    for v in walked:
+        best = INF
+        best_parent = -1
+        for w, u in adjacency[v]:
+            if not affect[u] and (full or settled[u]):
+                nd = dist[u] + w
+                if nd < best:
+                    best = nd
+                    best_parent = u
+        if best_parent >= 0:
+            dist[v] = best
+            parent[v] = best_parent
+            push(heap, (best, v))
+
+    if inner is not None:
+        while heap:
+            d, v = pop(heap)
+            if d > dist[v]:
+                continue
+            for w, u in inner[v]:
+                nd = d + w
+                if nd < dist[u]:
+                    dist[u] = nd
+                    parent[u] = v
+                    push(heap, (nd, u))
+    else:
+        while heap:
+            d, v = pop(heap)
+            if d > dist[v]:
+                continue
+            for w, u in adjacency[v]:
+                if affect[u]:
+                    nd = d + w
+                    if nd < dist[u]:
+                        dist[u] = nd
+                        parent[u] = v
+                        push(heap, (nd, u))
+
+    if not full:
+        cutoff = row.cutoff
+        for region in hits:
+            for v in region.nodes:
+                settled[v] = 1 if dist[v] <= cutoff else 0
+        for v in walked:
+            settled[v] = 1 if dist[v] <= cutoff else 0
+
+    for leaf, anchor in leafs:
+        if affect[leaf]:
+            continue  # swept into a region; repaired there
+        d = dist[anchor]
+        if d == INF:
+            dist[leaf] = INF
+            parent[leaf] = -1
+        else:
+            dist[leaf] = d + adjacency[leaf][0][0]
+
+    if not walked and len(hits) == 1:
+        return hits[0].nodes  # shared: read-only for the caller
+    out = list(walked)
+    for region in hits:
+        out.extend(region.nodes)
+    return out
+
+
 class _Row:
     """One cached single-source result inside :class:`FrozenOracle`.
 
@@ -1048,6 +1379,7 @@ class FrozenOracle:
         hot: Optional[Iterable[Node]] = None,
         patchable: bool = False,
         planner: bool = True,
+        share_regions: bool = True,
     ) -> None:
         self._graph = graph
         self._hot: set = set(hot) if hot is not None else set()
@@ -1062,6 +1394,12 @@ class FrozenOracle:
         #: historical per-row rescan repair as the equivalence reference.
         #: Served results are bit-identical either way.
         self._planner = planner
+        #: ``share_regions=True`` (the default) lets dense planned patches
+        #: repair rows grouped by detached region through shared
+        #: :class:`_SharedRegion` structures; ``share_regions=False``
+        #: keeps the per-row region rediscovery as the equivalence
+        #: reference.  Served results are bit-identical either way.
+        self._share_regions = share_regions
         self._core: Optional[IndexedGraph] = None
         self._contracted: Optional[_ContractedCore] = None
         self._built = False
@@ -1076,7 +1414,13 @@ class FrozenOracle:
         #: eagerly when trees gain an edge and pruned opportunistically
         #: when a changed pair is looked up, so a stale entry costs one
         #: parent check, while a missing entry would skip a required
-        #: repair and is never allowed.
+        #: repair and is never allowed.  Superset invariant: while the
+        #: index is live, every tree edge of every cached row has an
+        #: entry.  Three paths uphold it: in-place repairs register the
+        #: affected nodes' new parents, every row-*replacing* recompute
+        #: goes through :meth:`_install_row` (which registers the new
+        #: tree immediately), and :meth:`_reconcile_tree_index` catches
+        #: up wholesale at the start of each indexed patch.
         self._tree_index: Optional[Dict[Tuple[int, int], set]] = None
         #: Rows already registered in ``_tree_index``, by identity --
         #: a replaced ``_Row`` object is re-registered on reconcile.
@@ -1190,13 +1534,19 @@ class FrozenOracle:
     ) -> int:
         """Apply pure edge-*cost* updates without a full rebuild.
 
-        ``changed`` maps ``(u, v)`` pairs (each edge at most once, either
-        orientation) to new costs.  Every pair must already be an edge:
-        topology changes still require :meth:`invalidate`.  New costs are
-        written into the underlying graph, the CSR weight arrays and
-        contracted chain weights are patched in place, and cached rows are
-        *repaired* (Ramalingam--Reps style: only the region below a changed
-        tree edge or reachable from a decreased edge is recomputed) instead
+        ``changed`` maps ``(u, v)`` pairs to new costs.  Pairs are
+        deduplicated by canonical edge key first: a batch naming the same
+        edge twice (typically once per orientation) applies only the
+        *last* mapping-order entry -- the same last-write-wins rule a
+        caller looping ``graph.add_edge`` would get -- so the batch can
+        never double-patch CSR weights or hand the repair plan two
+        contradictory ``old`` costs for one edge.  Every pair must
+        already be an edge: topology changes still require
+        :meth:`invalidate`.  New costs are written into the underlying
+        graph, the CSR weight arrays and contracted chain weights are
+        patched in place, and cached rows are *repaired*
+        (Ramalingam--Reps style: only the region below a changed tree
+        edge or reachable from a decreased edge is recomputed) instead
         of recomputed from scratch; a row is evicted only when its repair
         cannot be bounded (an improving decrease against an early-stopped
         row).  With ``planner=True`` (the default) the changed batch is
@@ -1204,20 +1554,28 @@ class FrozenOracle:
         drives every row's repair; ``planner=False`` keeps the historical
         per-row rescans, bit-identically.
 
-        Returns the number of edges whose cost actually changed.
+        Returns the number of (deduplicated) edges whose cost actually
+        changed.
         """
         graph = self._graph
+        merged: Dict[Tuple[Node, Node], Tuple[Node, Node, float]] = {}
+        for (u, v), cost in changed.items():
+            merged[canonical_edge(u, v)] = (u, v, float(cost))
         # Validate the whole batch before writing anything: a missing edge
         # must not leave the graph half-mutated with the oracle unpatched.
         applied: List[Tuple[Node, Node, float, float]] = []
-        for (u, v), cost in changed.items():
+        for u, v, cost in merged.values():
             old = graph.cost(u, v)
-            cost = float(cost)
             if cost != old:
                 applied.append((u, v, old, cost))
         for u, v, _, cost in applied:
             graph.add_edge(u, v, cost)
         if not applied or not self._built:
+            # Unbuilt oracles carry no interned core or rows yet: the
+            # graph now holds the patched costs, and the eventual
+            # ``_build`` (and its contraction/continuity probes) reads
+            # them from there, exactly as if the oracle had been
+            # constructed over the patched graph.
             return len(applied)
         # Exact-but-uncached side caches cannot be patched selectively, and
         # the row-root heuristic counts are reset exactly as a rebuild
@@ -1271,6 +1629,14 @@ class FrozenOracle:
         reference repair: a decrease moves parents mid-repair, so root
         classification stops being row-independent.  ``planner=False``
         always takes the per-row path.
+
+        With ``share_regions=True`` (the default), detached roots dense
+        enough to clear :data:`PLANNER_SHARE_MIN_ROWS` /
+        :data:`PLANNER_SHARE_DENSITY` get per-patch shared-region groups:
+        member rows verify against (instead of rediscovering) the
+        detached region and repair through
+        :func:`_repair_row_shared`, bit-identically to the per-row
+        planned path.
         """
         plan = _PatchPlan(adjacency, changes)
         increases = plan.increases
@@ -1347,6 +1713,26 @@ class FrozenOracle:
                         row, sid, a, b, leaf, general_roots, leaf_jobs
                     )
 
+        # Dense-patch region sharing: a root detaching the same region in
+        # many rows gets a per-patch group whose structures every member
+        # row reuses.  Groups are scoped to this patch -- their cached
+        # boundary/internal weights go stale at the next weight change.
+        share_groups: Optional[Dict[int, List[_SharedRegion]]] = None
+        union_cache: Optional[Dict] = None
+        if self._share_regions and general_roots:
+            live_rows = sum(1 for row in rows.values() if row.used)
+            counts: Dict[int, int] = {}
+            for roots in general_roots.values():
+                for c in set(roots):
+                    counts[c] = counts.get(c, 0) + 1
+            threshold = max(
+                PLANNER_SHARE_MIN_ROWS, PLANNER_SHARE_DENSITY * live_rows
+            )
+            dense = [c for c, k in counts.items() if k >= threshold]
+            if dense:
+                share_groups = {c: [] for c in dense}
+                union_cache = {}
+
         indexed = self._indexed
         live = 0
         repaired = 0
@@ -1372,9 +1758,21 @@ class FrozenOracle:
             leafs = leaf_jobs.get(sid)
             if roots or leafs:
                 repaired += 1
-                affected = _repair_row_planned(
-                    adjacency, row, roots or (), leafs or ()
-                )
+                hits: List[_SharedRegion] = []
+                walk_roots: List[int] = []
+                if share_groups is not None and roots:
+                    hits, walk_roots = self._resolve_shared(
+                        adjacency, row, roots, share_groups
+                    )
+                if hits:
+                    affected = _repair_row_shared(
+                        adjacency, row, hits, walk_roots, leafs or (),
+                        union_cache,
+                    )
+                else:
+                    affected = _repair_row_planned(
+                        adjacency, row, roots or (), leafs or ()
+                    )
                 if index is not None and affected:
                     parent = row.parent
                     for v in affected:
@@ -1396,6 +1794,52 @@ class FrozenOracle:
             self._index_low_hits += 1
         else:
             self._index_low_hits = 0
+
+    def _resolve_shared(
+        self,
+        adjacency: List[Tuple[Tuple[float, int], ...]],
+        row: _Row,
+        roots: List[int],
+        groups: Dict[int, List[_SharedRegion]],
+    ) -> Tuple[List[_SharedRegion], List[int]]:
+        """Split a row's detached roots into shared-region hits and walks.
+
+        A dense root joins the first group variant whose region matches
+        the row's subtree; a non-matching row founds a new variant from
+        its own walk (the "region signature" grouping: same detached
+        child, same detached node set) until
+        :data:`_PLANNER_SHARE_MAX_VARIANTS`, after which it falls back
+        to the per-row walk.  Non-dense roots always walk.  Groups are
+        keyed by the detached child alone -- a child's region is its
+        subtree regardless of which changed pair detached it, so two
+        changed pairs sharing a child pool their rows (and their density
+        count) into one group.
+        """
+        hits: List[_SharedRegion] = []
+        walk_roots: List[int] = []
+        seen: set = set()
+        parent = row.parent
+        n = len(adjacency)
+        for c in roots:
+            if c in seen:
+                continue  # duplicate root: one region either way
+            seen.add(c)
+            variants = groups.get(c)
+            if variants is None:
+                walk_roots.append(c)
+                continue
+            for region in variants:
+                if region.matches(parent):
+                    hits.append(region)
+                    break
+            else:
+                if len(variants) < _PLANNER_SHARE_MAX_VARIANTS:
+                    region = _SharedRegion(adjacency, parent, c, n)
+                    variants.append(region)
+                    hits.append(region)
+                else:
+                    walk_roots.append(c)
+        return hits, walk_roots
 
     def _reconcile_tree_index(self) -> Dict[Tuple[int, int], set]:
         """Bring the inverted tree-edge index up to date with the rows.
@@ -1435,13 +1879,14 @@ class FrozenOracle:
         adjustments use this to reroute on updated costs while leaving the
         original instance and its oracle untouched.
 
-        The clone inherits the repair mode (``planner`` flag) but not the
-        inverted tree-edge index: its immediate patch classifies with a
-        scan pass, so one-shot clones never pay for an index build.
+        The clone inherits the repair modes (``planner`` and
+        ``share_regions`` flags) but not the inverted tree-edge index:
+        its immediate patch classifies with a scan pass, so one-shot
+        clones never pay for an index build.
         """
         clone = FrozenOracle(
             graph, hot=self._hot, patchable=self._patchable,
-            planner=self._planner,
+            planner=self._planner, share_regions=self._share_regions,
         )
         if self._built:
             clone._built = True
@@ -1478,12 +1923,31 @@ class FrozenOracle:
             self._slow_rows[source] = row
         return row
 
+    def _install_row(self, source_id: int, row: _Row) -> None:
+        """Cache ``row`` (replacing any previous object) and register it.
+
+        Every row-replacing recompute -- cold misses, stale-row
+        recomputes, full-row upgrades -- must come through here: with the
+        inverted tree-edge index live, the new tree's edges are
+        registered immediately, so the index stays a superset of every
+        cached row's tree edges without waiting for the next patch's
+        reconcile pass.  A replaced row's old registrations linger as
+        prunable over-approximation, exactly like a repaired row's.
+        """
+        self._rows[source_id] = row
+        index = self._tree_index
+        if index is not None:
+            for v, p in enumerate(row.parent):
+                if p >= 0:
+                    _index_add(index, v, p, source_id)
+            self._indexed[source_id] = row
+
     def _contracted_row(self, cid: int) -> _Row:
         row = self._rows.get(cid)
         if row is None:
             dist, parent = self._contracted.dijkstra(cid)
             row = _Row(dist, parent, None, True)
-            self._rows[cid] = row
+            self._install_row(cid, row)
         row.used = True
         return row
 
@@ -1504,7 +1968,7 @@ class FrozenOracle:
         else:
             dist, parent, settled, _ = core.dijkstra(source_id)
             row = _Row(dist, parent, settled, True)
-        self._rows[source_id] = row
+        self._install_row(source_id, row)
         return row
 
     def _row_serving(self, source_id: int, target_id: int) -> _Row:
@@ -1524,7 +1988,7 @@ class FrozenOracle:
             # so repeated cold queries never re-run the search.
             dist, parent, settled, _ = self.core.dijkstra(source_id)
             row = _Row(dist, parent, settled, True)
-            self._rows[source_id] = row
+            self._install_row(source_id, row)
             return row
         return self._compute(source_id, target_id)
 
@@ -1724,7 +2188,7 @@ class FrozenOracle:
         if row is None or not row.full:
             dist, parent, settled, _ = core.dijkstra(source_id)
             row = _Row(dist, parent, settled, True)
-            self._rows[source_id] = row
+            self._install_row(source_id, row)
         row.used = True
         nodes = core.nodes
         return {

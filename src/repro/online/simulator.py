@@ -52,6 +52,7 @@ class OnlineSimulator:
         cost_floor: float = 0.01,
         incremental: bool = True,
         planner: bool = True,
+        share_regions: bool = True,
     ) -> None:
         self._network = network
         self._tracker = LoadTracker(
@@ -64,8 +65,12 @@ class OnlineSimulator:
         # incremental patching but repairs rows with the historical
         # per-row rescans instead of the shared per-patch plan (the
         # planner-vs-per-row benchmark and equivalence reference).
+        # ``share_regions=False`` keeps the planned path but repairs
+        # dense patches without cross-row region sharing (the
+        # shared-vs-unshared benchmark and equivalence reference).
         self._incremental = incremental
         self._planner = planner
+        self._share_regions = share_regions
 
         # Build the working graph once: access topology + fixed VM pool.
         graph = network.graph.copy()
@@ -87,7 +92,7 @@ class OnlineSimulator:
         # oracle computes patch-repairable (exhaustive) rows.
         self._oracle = FrozenOracle(
             graph, hot=self._vms, patchable=self._incremental,
-            planner=self._planner,
+            planner=self._planner, share_regions=self._share_regions,
         )
 
     @property
@@ -124,6 +129,27 @@ class OnlineSimulator:
             for (u, v), cost in changed.items():
                 self._graph.add_edge(u, v, cost)
             self._oracle.invalidate()
+
+    def apply_background_load(
+        self, links: Sequence, demand_mbps: float
+    ) -> None:
+        """Account non-request load on ``links`` and reprice immediately.
+
+        Models the paper's load-driven cost growth happening *between*
+        embeddings: hot shared links gain load from traffic outside the
+        simulated workload (other tenants, background flows), and the
+        live graph/oracle must track the new costs before the next
+        request is materialised.  The VM pool's cached rows are touched
+        first -- they are the online mode's standing working set (every
+        request's Procedure-1 sweep reads all of them) -- so with
+        ``incremental=True`` repeated churn exercises the oracle's
+        dense-patch row repair instead of evicting the pool rows as
+        idle.
+        """
+        self._oracle.warm(self._vms)
+        for u, v in links:
+            self._tracker.add_link_load(u, v, demand_mbps)
+        self._sync_costs()
 
     def current_instance(self, request: Request) -> SOFInstance:
         """Materialise the SOF instance for ``request`` at current loads.

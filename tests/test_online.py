@@ -4,6 +4,7 @@ import pytest
 
 from repro import sofda
 from repro.baselines import est_baseline
+from repro.graph import FrozenOracle
 from repro.online import OnlineSimulator, RequestGenerator, run_online_comparison
 from repro.topology import softlayer_network
 
@@ -119,6 +120,56 @@ def test_incremental_patch_matches_full_rebuild(network):
         ]
 
     assert trace(True) == trace(False)
+
+
+def test_share_regions_matches_unshared_trace(monkeypatch):
+    """Dense-patch region sharing must replay a trace bit-identically."""
+    from repro.graph import indexed
+
+    monkeypatch.setattr(indexed, "PLANNER_SHARE_MIN_ROWS", 1)
+    monkeypatch.setattr(indexed, "PLANNER_SHARE_DENSITY", 0.0)
+
+    def trace(share):
+        net = softlayer_network(seed=3)
+        sim = OnlineSimulator(net, share_regions=share)
+        gen = RequestGenerator(net, seed=7, destinations_range=(4, 5),
+                               sources_range=(2, 3))
+        return [
+            sim.embed(request, lambda inst: sofda(inst).forest)
+            for request in gen.take(6)
+        ]
+
+    assert trace(True) == trace(False)
+
+
+def test_apply_background_load_reprices_and_repairs(network):
+    """Background churn reprices the live graph and repairs cached rows."""
+    sim = OnlineSimulator(network)
+    gen = RequestGenerator(network, seed=2, destinations_range=(3, 3),
+                           sources_range=(2, 2))
+    assert sim.embed(gen.next_request(), lambda inst: sofda(inst).forest) \
+        is not None
+    graph_before = sim._graph
+    oracle_before = sim._oracle
+    rows_before = len(sim._oracle._rows)
+    link = next(iter(graph_before.edges()))[:2]
+    cost_before = graph_before.cost(*link)
+    sim.apply_background_load([link], demand_mbps=40.0)
+    # Same live graph/oracle objects, repriced link, pool rows kept.
+    assert sim._graph is graph_before
+    assert sim._oracle is oracle_before
+    assert graph_before.cost(*link) == max(
+        sim.tracker.link_cost(*link), sim._cost_floor
+    )
+    assert graph_before.cost(*link) > cost_before
+    assert len(sim._oracle._rows) >= rows_before
+    # The repaired oracle answers like a cold one over the live graph.
+    fresh = FrozenOracle(graph_before.copy(), hot=sim.vms)
+    vms = sim.vms
+    for vm in vms[:3]:
+        assert sim._oracle.distance(vm, vms[-1]) == pytest.approx(
+            fresh.distance(vm, vms[-1]), rel=0, abs=1e-12
+        )
 
 
 def test_sync_costs_patches_graph_in_place(network):

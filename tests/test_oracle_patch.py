@@ -129,6 +129,158 @@ def test_patch_rejects_unknown_edges_atomically():
 
 
 # ----------------------------------------------------------------------
+# batch canonicalisation (duplicate orientations)
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("planner", [True, False])
+def test_patch_duplicate_orientation_last_write_wins(planner):
+    """A batch naming one edge in both orientations applies only the last.
+
+    The regression: the uncanonicalised batch produced two ``applied``
+    entries with the same pre-patch ``old`` cost, double-patched the CSR
+    weights and inflated the returned count; when the two new costs
+    straddled the old one it even classified a phantom decrease whose
+    cost existed in neither the graph nor the batch's outcome.
+    """
+    graph = Graph.from_edges([("a", "b", 1.0), ("b", "c", 1.0)])
+    oracle = FrozenOracle(graph, planner=planner)
+    assert oracle.distance("a", "c") == 2.0
+    # Same edge, both orientations: one logical change, last write wins.
+    assert oracle.patch_edge_costs({("a", "b"): 5.0, ("b", "a"): 3.0}) == 1
+    assert graph.cost("a", "b") == 3.0
+    fresh = FrozenOracle(graph.copy(), planner=planner)
+    for u in ("a", "b", "c"):
+        assert oracle.distances_from(u) == fresh.distances_from(u)
+    # Straddling duplicate: a decrease below the current cost followed by
+    # an increase above it -- the batch must behave as a pure increase to
+    # 4.0, not as a decrease-to-0.5 plus an increase.
+    assert oracle.patch_edge_costs({("b", "c"): 0.5, ("c", "b"): 4.0}) == 1
+    assert graph.cost("b", "c") == 4.0
+    fresh = FrozenOracle(graph.copy(), planner=planner)
+    for u in ("a", "b", "c"):
+        assert oracle.distances_from(u) == fresh.distances_from(u)
+    # A duplicate whose last entry restores the current cost is a no-op.
+    rows_before = dict(oracle._rows)
+    assert oracle.patch_edge_costs({("a", "b"): 9.0, ("b", "a"): 3.0}) == 0
+    assert graph.cost("a", "b") == 3.0
+    assert oracle._rows == rows_before
+
+
+def test_patch_duplicate_orientation_matches_sequential_patches():
+    """The deduped batch equals applying the mapping entries in order."""
+    rng = random.Random(77)
+    graph = random_graph(rng)
+    batched = FrozenOracle(graph.copy(), hot=[0, 1])
+    sequential = FrozenOracle(graph.copy(), hot=[0, 1])
+    nodes = list(graph.nodes())
+    for oracle in (batched, sequential):
+        for _ in range(20):
+            oracle.distance(rng.choice(nodes), rng.choice(nodes))
+    u, v, cost = next(iter(graph.edges()))
+    batched.patch_edge_costs({(u, v): cost * 2.0, (v, u): cost * 3.0})
+    sequential.patch_edge_costs({(u, v): cost * 2.0})
+    sequential.patch_edge_costs({(v, u): cost * 3.0})
+    for source in rng.sample(nodes, 6):
+        assert (
+            batched.distances_from(source)
+            == sequential.distances_from(source)
+        )
+
+
+# ----------------------------------------------------------------------
+# patching an unbuilt oracle (before the first query)
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("patchable", [False, True])
+def test_patch_before_first_query(patchable):
+    """Patches on an unbuilt oracle land in the graph; ``_build`` sees them.
+
+    ``patch_edge_costs`` writes the new costs into the graph before the
+    ``not self._built`` early-return, so an oracle patched before its
+    first query must build over the patched costs and answer exactly
+    like a fresh oracle on the updated graph.
+    """
+    rng = random.Random(19)
+    graph = random_graph(rng)
+    nodes = list(graph.nodes())
+    hot = rng.sample(nodes, 4)
+    oracle = FrozenOracle(graph, hot=hot, patchable=patchable)
+    changed = perturb(rng, graph, 6)
+    # Every drawn change is real (factors never equal 1.0 here).
+    assert oracle.patch_edge_costs(dict(changed)) == len(changed)
+    for (u, v), cost in changed.items():
+        assert graph.cost(u, v) == float(cost)
+    assert not oracle._built
+    fresh = FrozenOracle(graph.copy(), hot=hot, patchable=patchable)
+    for source in rng.sample(nodes, 8):
+        assert oracle.distances_from(source) == fresh.distances_from(source)
+
+
+def test_patch_before_first_query_rejects_unknown_edges():
+    graph = Graph.from_edges([("a", "b", 1.0), ("b", "c", 1.0)])
+    oracle = FrozenOracle(graph)
+    with pytest.raises(KeyError):
+        oracle.patch_edge_costs({("a", "b"): 10.0, ("a", "z"): 2.0})
+    assert graph.cost("a", "b") == 1.0  # nothing written
+    assert oracle.distance("a", "c") == 2.0
+
+
+def test_patch_before_first_query_counts_real_changes():
+    graph = Graph.from_edges([("a", "b", 1.0), ("b", "c", 1.0)])
+    oracle = FrozenOracle(graph)
+    # One real change, one no-op, one duplicated orientation.
+    assert oracle.patch_edge_costs(
+        {("a", "b"): 2.0, ("b", "a"): 4.0, ("b", "c"): 1.0}
+    ) == 1
+    assert graph.cost("a", "b") == 4.0
+    assert graph.cost("b", "c") == 1.0
+    assert oracle.distance("a", "c") == 5.0
+
+
+# ----------------------------------------------------------------------
+# tree-edge index maintenance across row-replacing recomputes
+# ----------------------------------------------------------------------
+def test_row_upgrade_registers_in_tree_index(monkeypatch):
+    """A full-row upgrade registers its new tree edges immediately.
+
+    The superset invariant: while the inverted tree-edge index is live,
+    every tree edge of every cached row must have an index entry --
+    a missing entry would make a later patch skip the row's repair and
+    serve a stale distance.  Row-replacing recomputes (the
+    ``distances_from`` upgrade here) bypass the in-place repair
+    bookkeeping, so they must register through ``_install_row`` rather
+    than waiting for the next patch's reconcile pass.
+    """
+    from repro.graph import indexed
+
+    monkeypatch.setattr(indexed, "PLANNER_INDEX_MIN_ROWS", 1)
+    monkeypatch.setattr(indexed, "PLANNER_INDEX_BUILD_STREAK", 0)
+    graph = Graph.from_edges([
+        ("s", "a", 1.0), ("a", "b", 1.0), ("b", "t", 1.0), ("x", "y", 1.0),
+    ])
+    oracle = FrozenOracle(graph, hot={"s", "a"}, planner=True)
+    # Early-stopped row from s (settles once the hot set is done).
+    assert oracle.distance("s", "a") == 1.0
+    core = oracle.core
+    sid = core.index["s"]
+    assert not oracle._rows[sid].full
+    # A sparse patch builds the index over the partial tree.
+    oracle.patch_edge_costs({("x", "y"): 2.0})
+    assert oracle._tree_index is not None
+    key = tuple(sorted((core.index["b"], core.index["t"])))
+    assert sid not in oracle._tree_index.get(key, set())
+    # Full-row upgrade: the new tree gains b-t, which the index must see
+    # *immediately* -- not only at the next patch's reconcile pass.
+    assert oracle.distances_from("s")["t"] == 3.0
+    assert oracle._rows[sid].full
+    assert sid in oracle._tree_index.get(key, set())
+    assert oracle._indexed[sid] is oracle._rows[sid]
+    # And the repair driven through that registration serves fresh costs.
+    oracle.patch_edge_costs({("b", "t"): 5.0})
+    assert oracle.distance("s", "t") == 7.0
+    fresh = FrozenOracle(graph.copy(), hot={"s", "a"})
+    assert oracle.distance("s", "t") == fresh.distance("s", "t")
+
+
+# ----------------------------------------------------------------------
 # contracted mode
 # ----------------------------------------------------------------------
 @pytest.fixture(scope="module")
@@ -218,6 +370,16 @@ def test_rebased_leaves_original_untouched():
     fresh = FrozenOracle(copy.copy(), hot=hot)
     for n in rng.sample(nodes, 8):
         assert rebased.distances_from(n) == fresh.distances_from(n)
+
+
+def test_rebased_inherits_repair_modes():
+    graph = Graph.from_edges([("a", "b", 1.0), ("b", "c", 1.0)])
+    oracle = FrozenOracle(graph, planner=False, share_regions=False)
+    oracle.distance("a", "c")
+    clone = oracle.rebased(graph.copy(), {("a", "b"): 2.0})
+    assert clone._planner is False
+    assert clone._share_regions is False
+    assert clone.distance("a", "c") == 3.0
 
 
 def test_reroute_congested_link_uses_rebased_oracle():

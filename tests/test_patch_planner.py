@@ -9,6 +9,13 @@ identical randomized query+patch streams into a planner oracle and a
 per-row oracle over copies of the same graph and compare full row state
 after each patch.
 
+The same contract extends to dense-patch region sharing
+(``share_regions=True``, the default): with the sharing thresholds
+forced to zero, every planned patch repairs through shared
+:class:`_SharedRegion` groups, and the resulting row state must still be
+bit-identical to both the unshared planned path and the per-row
+reference.
+
 The settle-cutoff demotion boundary is audited here too: a repaired
 label landing *exactly* on ``row.cutoff`` is provably exact and must
 stay settled, while one strictly above may route through never-settled
@@ -133,6 +140,103 @@ def test_planner_matches_per_row_repair(direction, patchable):
             assert legacy.distances_from(source) == expected
 
 
+@pytest.mark.parametrize("patchable", [False, True])
+@pytest.mark.parametrize("direction", ["up", "mixed"])
+def test_shared_matches_unshared_and_per_row(direction, patchable, monkeypatch):
+    """Forced region sharing: bit-identical across all three repair modes.
+
+    With the sharing thresholds forced to zero every detached root of a
+    pure-increase patch goes through a shared-region group, so the
+    randomized streams exercise region verification, variant founding,
+    union repairs (rows with several detached roots) and the walk
+    fallback for rows whose regions fragment -- all of which must leave
+    row state identical to the unshared planned path and the per-row
+    reference after every patch.
+    """
+    monkeypatch.setattr(indexed, "PLANNER_SHARE_MIN_ROWS", 1)
+    monkeypatch.setattr(indexed, "PLANNER_SHARE_DENSITY", 0.0)
+    for trial in range(4):
+        rng = random.Random(300 * trial + (direction == "up") + 2 * patchable)
+        graph = random_graph(rng)
+        hot = rng.sample(list(graph.nodes()), 5)
+        ops = _patch_stream(rng, graph, rounds=8, direction=direction)
+        shared = FrozenOracle(
+            graph.copy(), hot=hot, patchable=patchable,
+            planner=True, share_regions=True,
+        )
+        unshared = FrozenOracle(
+            graph.copy(), hot=hot, patchable=patchable,
+            planner=True, share_regions=False,
+        )
+        legacy = FrozenOracle(
+            graph.copy(), hot=hot, patchable=patchable, planner=False
+        )
+        shared_snaps = _replay(shared, ops)
+        assert shared_snaps == _replay(unshared, ops)
+        assert shared_snaps == _replay(legacy, ops)
+        fresh = FrozenOracle(shared.graph.copy(), hot=hot)
+        for source in rng.sample(list(graph.nodes()), 6):
+            expected = fresh.distances_from(source)
+            assert shared.distances_from(source) == expected
+
+
+def test_shared_matches_with_tree_index(monkeypatch):
+    """Region sharing composes with the inverted tree-edge index."""
+    monkeypatch.setattr(indexed, "PLANNER_INDEX_MIN_ROWS", 1)
+    monkeypatch.setattr(indexed, "PLANNER_INDEX_BUILD_STREAK", 0)
+    monkeypatch.setattr(indexed, "PLANNER_SHARE_MIN_ROWS", 1)
+    monkeypatch.setattr(indexed, "PLANNER_SHARE_DENSITY", 0.0)
+    for trial in range(4):
+        rng = random.Random(8800 + trial)
+        graph = random_graph(rng)
+        hot = rng.sample(list(graph.nodes()), 5)
+        ops = _patch_stream(rng, graph, rounds=10, direction="up")
+        shared = FrozenOracle(graph.copy(), hot=hot, share_regions=True)
+        unshared = FrozenOracle(graph.copy(), hot=hot, share_regions=False)
+        assert _replay(shared, ops) == _replay(unshared, ops)
+
+
+def test_shared_regions_amortize_region_builds(monkeypatch):
+    """One dense patch builds each detached region once, not once per row.
+
+    A pod topology: every row rooted outside the pod detaches the same
+    region when the pod's uplink cost grows, and the pod's own rows all
+    detach the complement.  The patch must therefore build at most two
+    shared regions (one per signature group) while repairing every row,
+    and the repaired distances must match a cold oracle.
+    """
+    monkeypatch.setattr(indexed, "PLANNER_SHARE_MIN_ROWS", 1)
+    monkeypatch.setattr(indexed, "PLANNER_SHARE_DENSITY", 0.0)
+    builds = []
+    real_region = indexed._SharedRegion
+
+    class CountingRegion(real_region):
+        def __init__(self, *args, **kwargs):
+            builds.append(1)
+            super().__init__(*args, **kwargs)
+
+    monkeypatch.setattr(indexed, "_SharedRegion", CountingRegion)
+    # Star-of-trees: "hub" with three leaf spokes and a pod (chain of 3
+    # with a leaf each) behind the single uplink hub-p0.  Trees have
+    # unique shortest-path forests, so region signatures cannot
+    # fragment across rows.
+    graph = Graph.from_edges([
+        ("hub", "s0", 1.0), ("hub", "s1", 1.2), ("hub", "s2", 1.4),
+        ("hub", "p0", 1.0), ("p0", "p1", 1.1), ("p1", "p2", 1.2),
+        ("p0", "q0", 0.5), ("p1", "q1", 0.5), ("p2", "q2", 0.5),
+    ])
+    oracle = FrozenOracle(graph, planner=True, share_regions=True)
+    for node in ("hub", "s0", "s1", "s2", "p0", "p1", "q2"):
+        oracle.distances_from(node)
+    oracle.patch_edge_costs({("hub", "p0"): 3.0})
+    # 4 outside rows share the pod region, 3 pod rows share the
+    # complement: two groups, two builds, seven repairs.
+    assert len(builds) == 2
+    fresh = FrozenOracle(graph.copy())
+    for node in ("hub", "s0", "s1", "s2", "p0", "p1", "q2"):
+        assert oracle.distances_from(node) == fresh.distances_from(node)
+
+
 def test_planner_matches_per_row_with_tree_index(monkeypatch):
     """Equivalence holds with the inverted tree-edge index forced on."""
     monkeypatch.setattr(indexed, "PLANNER_INDEX_MIN_ROWS", 1)
@@ -227,19 +331,22 @@ def contracted_instance():
     )
 
 
-def test_planner_matches_per_row_contracted(contracted_instance):
+def test_planner_matches_per_row_contracted(contracted_instance, monkeypatch):
+    monkeypatch.setattr(indexed, "PLANNER_SHARE_MIN_ROWS", 1)
+    monkeypatch.setattr(indexed, "PLANNER_SHARE_DENSITY", 0.0)
     instance = contracted_instance
     hot = instance.vms | instance.sources | instance.destinations
     special = sorted(hot, key=repr)
     oracles = []
-    for planner in (True, False):
+    for planner, share in ((True, True), (True, False), (False, False)):
         oracle = FrozenOracle(
-            instance.graph.copy(), hot=hot, planner=planner
+            instance.graph.copy(), hot=hot, planner=planner,
+            share_regions=share,
         )
         assert oracle.contracted is not None
         oracle.warm(special)
         oracles.append(oracle)
-    planned, legacy = oracles
+    shared, planned, legacy = oracles
     rng = random.Random(13)
     cost_now = {(u, v): c for u, v, c in planned.graph.edges()}
     edges = list(cost_now)
@@ -248,11 +355,12 @@ def test_planner_matches_per_row_contracted(contracted_instance):
         for key in rng.sample(edges, 10):
             cost_now[key] = cost_now[key] * rng.uniform(1.05, 2.5)
             changed[key] = cost_now[key]
-        planned.patch_edge_costs(changed)
-        legacy.patch_edge_costs(changed)
+        shared.patch_edge_costs(dict(changed))
+        planned.patch_edge_costs(dict(changed))
+        legacy.patch_edge_costs(dict(changed))
         assert _row_states(planned) == _row_states(legacy)
+        assert _row_states(shared) == _row_states(planned)
         for source in special[:4]:
-            assert (
-                planned.distances_from(source)
-                == legacy.distances_from(source)
-            )
+            expected = legacy.distances_from(source)
+            assert planned.distances_from(source) == expected
+            assert shared.distances_from(source) == expected
