@@ -26,6 +26,13 @@ tracks the *repo's own* performance trajectory.  It measures:
   region sharing (``OnlineSimulator(share_regions=False)``) -- the
   acceptance metric for the region-sharing PR, where rediscovering the
   same detached region once per row is the dominant repair cost;
+- ``online_churn_s`` / ``online_churn_invalidate_s``: a tenant-churn
+  workload (Poisson arrivals, exponential holding-time departures,
+  periodic background ticks -- the :mod:`repro.workload` engine) replayed
+  through the incremental patch path and the full-rebuild path -- the
+  acceptance metric for the workload-engine PR.  Departures release
+  leases, so the syncs carry *decrease* batches (the per-row reference
+  repair path) that no arrivals-only trace produces;
 - ``sweep_slice_s`` / ``sweep_serial_s``: a small ``run_sweep`` slice with
   ``workers=4`` vs serial (speedup needs a multi-core runner; single-core
   CI only checks the outputs match).
@@ -39,8 +46,10 @@ the measured ratios instead.  Set ``SOF_PERF_STRICT=1`` to make the
 *correctness* anchors hard failures: the largest-cell forest cost and the
 online-trace costs must match the committed baselines, the planned
 repair path must stay bit-identical to the per-row reference on the
-many-rows trace, and the region-shared repair must stay bit-identical
-to the unshared planned path on the dense-patch trace.
+many-rows trace, the region-shared repair must stay bit-identical
+to the unshared planned path on the dense-patch trace, and the churn
+trace's incremental run must stay bit-identical (costs *and* acceptance
+decisions) to the full-invalidate reference across its decrease batches.
 """
 
 from __future__ import annotations
@@ -58,6 +67,7 @@ from repro.core.problem import ServiceChain
 from repro.core.sofda import sofda
 from repro.experiments import run_sweep
 from repro.graph import FrozenOracle, Graph
+from repro.graph.graph import edge_sort_key
 from repro.graph.shortest_paths import dijkstra
 from repro.online import OnlineSimulator, RequestGenerator
 from repro.topology import inet_network, softlayer_network
@@ -252,6 +262,87 @@ def _run_dense_patch_trace(share: bool):
     return costs, elapsed
 
 
+#: Churn trace shape: a mid-size Inet topology (200-VM pool) under ~10
+#: time units of Poisson arrivals with exponential holds, so most
+#: tenants depart inside the trace and every post-departure sync hands
+#: the oracle a decrease-carrying batch.  Background ticks keep
+#: re-pricing a rotating link set between arrivals.
+_CHURN_NODES = 2500
+_CHURN_LINKS = 5000
+_CHURN_DCS = 40
+_CHURN_HORIZON = 10.0
+_CHURN_RATE = 0.9
+_CHURN_HOLD_MEAN = 3.0
+
+
+def _churn_network():
+    return inet_network(
+        num_nodes=_CHURN_NODES, num_links=_CHURN_LINKS,
+        num_datacenters=_CHURN_DCS, seed=0,
+    )
+
+
+def _churn_schedule(network):
+    """One embedder-independent churn schedule (pure function of seeds)."""
+    from repro.online import RequestGenerator as _RequestGenerator
+    from repro.workload import (
+        BackgroundChurn,
+        ExponentialHolding,
+        PoissonArrivals,
+        build_schedule,
+    )
+
+    generator = _RequestGenerator(
+        network, seed=0, destinations_range=(3, 4), sources_range=(2, 2)
+    )
+    process = PoissonArrivals(generator, rate=_CHURN_RATE, seed=1)
+    holding = ExponentialHolding(mean=_CHURN_HOLD_MEAN, seed=2)
+    links = sorted(
+        ((u, v) for u, v, _ in network.graph.edges()), key=edge_sort_key
+    )[:24]
+    background = BackgroundChurn(
+        period=1.0,
+        link_batches=tuple(tuple(links[i::6]) for i in range(6)),
+        demand_mbps=2.0,
+    )
+    return build_schedule(
+        process, horizon=_CHURN_HORIZON, holding=holding,
+        background=background,
+    )
+
+
+def _run_churn_trace(incremental: bool):
+    """Replay the tenant-churn workload through one oracle mode.
+
+    Setup (topology, simulator, schedule build) and the cold VM-pool row
+    build (a zero-demand background tick warms all 200 rows) stay
+    outside the timed window: only the event loop -- arrivals,
+    departures releasing leases, background re-pricing -- is measured.
+    Returns ``(ChurnResult, elapsed_seconds)``.
+    """
+    from repro.workload import WorkloadEngine
+
+    network = _churn_network()
+    simulator = OnlineSimulator(
+        network, vms_per_datacenter=5, incremental=incremental
+    )
+    schedule = _churn_schedule(network)
+    engine = WorkloadEngine(simulator, lambda inst: sofda(inst).forest)
+    simulator.apply_background_load((), 0.0)  # warm the pool rows
+    gc.collect()  # the timed window should not pay for earlier sections
+    start = time.perf_counter()
+    result = engine.run(schedule)
+    elapsed = time.perf_counter() - start
+    assert result.rejected == 0, (
+        f"churn trace rejected {result.rejected} requests "
+        f"(incremental={incremental}); the trace must embed every arrival"
+    )
+    assert result.departures == result.accepted and result.final_active == 0, (
+        "churn trace must drain every tenant (departures == arrivals)"
+    )
+    return result, elapsed
+
+
 def _run_sweep_slice(network, workers: int):
     """One tracked sweep slice; returns ``(result, elapsed_seconds)``.
 
@@ -324,6 +415,15 @@ def run_perf_core() -> dict:
         shared_costs, elapsed = _run_dense_patch_trace(share=True)
         dense_shared_s = min(dense_shared_s, elapsed)
 
+    # Interleaved best-of-two again for the churn incremental-vs-
+    # invalidate ratio, the workload-engine acceptance metric.
+    churn_invalidate_s = churn_patch_s = float("inf")
+    for _ in range(2):
+        churn_rebuild, elapsed = _run_churn_trace(incremental=False)
+        churn_invalidate_s = min(churn_invalidate_s, elapsed)
+        churn_patched, elapsed = _run_churn_trace(incremental=True)
+        churn_patch_s = min(churn_patch_s, elapsed)
+
     sweep_network = softlayer_network(seed=1)
     sweep_serial, sweep_serial_s = _run_sweep_slice(sweep_network, workers=1)
     sweep_pooled, sweep_pooled_s = _run_sweep_slice(sweep_network, workers=4)
@@ -352,6 +452,20 @@ def run_perf_core() -> dict:
         "online_dense_patch_share_drift": max(
             abs(a - b) for a, b in zip(shared_costs, unshared_costs)
         ),
+        "online_churn_s": round(churn_patch_s, 4),
+        "online_churn_invalidate_s": round(churn_invalidate_s, 4),
+        "online_churn_cost": churn_patched.total_cost,
+        "online_churn_max_request_drift": max(
+            abs(a - b)
+            for a, b in zip(
+                churn_patched.per_request_cost, churn_rebuild.per_request_cost
+            )
+        ),
+        "online_churn_decisions_match": (
+            [c is None for c in churn_patched.per_request_cost]
+            == [c is None for c in churn_rebuild.per_request_cost]
+            and churn_patched.departures == churn_rebuild.departures
+        ),
         "sweep_slice_s": round(sweep_pooled_s, 4),
         "sweep_serial_s": round(sweep_serial_s, 4),
         "sweep_outputs_match": (
@@ -374,7 +488,7 @@ def test_perf_core(once):
     print("\nPerf core -- seed vs latest")
     for key in ("dict_dijkstra_ms", "oracle_row_ms", "sofda_largest_s",
                 "online_trace_s", "online_many_rows_s",
-                "online_dense_patch_s", "sweep_slice_s"):
+                "online_dense_patch_s", "online_churn_s", "sweep_slice_s"):
         before = seed.get(key)
         after = measured[key]
         ratio = f"  ({before / after:.2f}x)" if before else ""
@@ -393,6 +507,11 @@ def test_perf_core(once):
         f"  dense-patch trace: unshared {measured['online_dense_patch_unshared_s']}s"
         f" -> shared {measured['online_dense_patch_s']}s"
         f" ({measured['online_dense_patch_unshared_s'] / measured['online_dense_patch_s']:.2f}x)"
+    )
+    print(
+        f"  churn trace: invalidate {measured['online_churn_invalidate_s']}s"
+        f" -> patch {measured['online_churn_s']}s"
+        f" ({measured['online_churn_invalidate_s'] / measured['online_churn_s']:.2f}x)"
     )
     print(
         f"  sweep slice: serial {measured['sweep_serial_s']}s"
@@ -432,6 +551,19 @@ def test_perf_core(once):
         or abs(measured["online_dense_patch_cost"]
                - seed["online_dense_patch_cost"]) <= 1e-6
     )
+    # Decrease batches route through the per-row reference repair, which
+    # is bit-identical to a rebuild, so the churn trace must not diverge
+    # from the full-invalidate path by even an ulp -- in costs or in
+    # acceptance decisions.
+    churn_ok = (
+        measured["online_churn_max_request_drift"] == 0.0
+        and measured["online_churn_decisions_match"]
+    )
+    churn_baseline_ok = (
+        seed.get("online_churn_cost") is None
+        or abs(measured["online_churn_cost"] - seed["online_churn_cost"])
+        <= 1e-6
+    )
     if _strict():
         assert cost_ok, "largest-cell forest cost drifted from the baseline"
         assert trace_ok, "patched online trace diverged from full rebuild"
@@ -449,6 +581,13 @@ def test_perf_core(once):
         )
         assert dense_baseline_ok, (
             "dense-patch trace cost drifted from the baseline"
+        )
+        assert churn_ok, (
+            "churn trace (decrease batches) diverged from the "
+            "full-invalidate reference"
+        )
+        assert churn_baseline_ok, (
+            "churn trace cost drifted from the baseline"
         )
         assert measured["sweep_outputs_match"], "pooled sweep != serial sweep"
     shape_check("forest cost unchanged on the seeded largest cell", cost_ok)
@@ -483,6 +622,15 @@ def test_perf_core(once):
         "dense-patch trace at least 1.2x faster with region sharing",
         measured["online_dense_patch_s"] * 1.2
         <= measured["online_dense_patch_unshared_s"],
+    )
+    shape_check("churn trace: patch == rebuild, costs and acceptance "
+                "decisions bit-identical", churn_ok)
+    shape_check("churn trace cost matches committed baseline",
+                churn_baseline_ok)
+    shape_check(
+        "churn trace at least 1.2x faster than the full-invalidate path",
+        measured["online_churn_s"] * 1.2
+        <= measured["online_churn_invalidate_s"],
     )
     shape_check("pooled sweep output identical to serial",
                 measured["sweep_outputs_match"])

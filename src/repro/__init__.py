@@ -4,8 +4,10 @@ A full reproduction of Kuo et al., "Service Overlay Forest Embedding for
 Software-Defined Cloud Networks" (ICDCS 2017): the SOF problem model, the
 SOFDA-SS and SOFDA approximation algorithms, the exact IP formulation, the
 paper's baselines (ST / eST / eNEMP), topology generators, the online and
-distributed variants, a flow-level QoE testbed simulator and the complete
-experiment harness regenerating every table and figure of the evaluation.
+distributed variants, a tenant-churn workload engine (seeded arrival
+processes, holding-time departures, JSONL trace replay), a flow-level QoE
+testbed simulator and the complete experiment harness regenerating every
+table and figure of the evaluation.
 
 Quickstart::
 

@@ -5,6 +5,9 @@ Commands map one-to-one onto the evaluation artefacts:
 - ``solve``     -- embed one sampled instance with every algorithm.
 - ``fig7/8/9/10/11/12`` -- regenerate a figure's data series.
 - ``table1/table2``     -- regenerate a table.
+- ``workload``  -- run a tenant-churn workload (arrivals, holding-time
+  departures, optional background churn) through the online simulator,
+  with JSONL trace record/replay.
 
 All output is plain text in the paper's row/series format, so results can
 be diffed across runs.
@@ -122,6 +125,90 @@ def _cmd_fig12(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_workload(args: argparse.Namespace) -> int:
+    from repro.experiments import run_churn_comparison
+    from repro.online import RequestGenerator
+    from repro.workload import (
+        DiurnalArrivals,
+        ExponentialHolding,
+        FixedHolding,
+        FlashCrowdArrivals,
+        PoissonArrivals,
+        build_schedule,
+        read_trace,
+        read_trace_metadata,
+        write_trace,
+    )
+
+    topology, topology_seed = args.topology, args.topology_seed
+    if args.replay:
+        # A trace's node identities only make sense on the topology it
+        # was recorded against; recorded provenance wins over the flags.
+        meta = read_trace_metadata(args.replay)
+        topology = meta.get("topology", topology)
+        topology_seed = meta.get("topology_seed", topology_seed)
+        if topology not in _NETWORKS:
+            raise SystemExit(
+                f"trace {args.replay} was recorded on topology "
+                f"{topology!r}, which this build does not provide "
+                f"(choose from {sorted(_NETWORKS)})"
+            )
+        schedule = read_trace(args.replay)
+        print(f"replaying {len(schedule)} events from {args.replay} "
+              f"(topology {topology}, seed {topology_seed})")
+    else:
+        network = _NETWORKS[topology](seed=topology_seed)
+        generator = RequestGenerator(network, seed=args.seed)
+        if args.process == "poisson":
+            process = PoissonArrivals(
+                generator, rate=args.rate, seed=args.seed + 1
+            )
+        elif args.process == "diurnal":
+            process = DiurnalArrivals(
+                generator, base_rate=args.rate, amplitude=args.amplitude,
+                period=args.period, seed=args.seed + 1,
+            )
+        else:
+            process = FlashCrowdArrivals(
+                generator, base_rate=args.rate, burst_start=args.burst_start,
+                burst_duration=args.burst_duration,
+                burst_factor=args.burst_factor, seed=args.seed + 1,
+            )
+        if args.hold_fixed is not None:
+            holding = FixedHolding(args.hold_fixed)
+        elif args.no_departures:
+            holding = None
+        else:
+            holding = ExponentialHolding(args.hold_mean, seed=args.seed + 2)
+        schedule = build_schedule(process, horizon=args.horizon, holding=holding)
+        print(f"built {len(schedule)} events "
+              f"({args.process} arrivals over horizon {args.horizon})")
+    if args.record:
+        write_trace(schedule, args.record,
+                    meta={"topology": topology, "topology_seed": topology_seed})
+        print(f"recorded trace to {args.record}")
+
+    factory = lambda: _NETWORKS[topology](seed=topology_seed)  # noqa: E731
+    embedders = {"SOFDA": lambda inst: sofda(inst).forest}
+    if args.baselines:
+        from repro.baselines import enemp_baseline, est_baseline, st_baseline
+
+        embedders.update(
+            {"eNEMP": enemp_baseline, "eST": est_baseline, "ST": st_baseline}
+        )
+    results = run_churn_comparison(factory, embedders, schedule)
+    print(f"\n{'algo':8s} {'arrive':>6s} {'accept':>6s} {'reject':>6s} "
+          f"{'rate':>6s} {'depart':>6s} {'peak':>5s} {'active':>6s} "
+          f"{'total cost':>12s}")
+    for name, result in results.items():
+        arrivals = result.accepted + result.rejected
+        print(f"{name:8s} {arrivals:6d} {result.accepted:6d} "
+              f"{result.rejected:6d} {result.acceptance_rate:5.1%} "
+              f"{result.departures:6d} {result.peak_active:5d} "
+              f"{result.final_active:6d} {result.total_cost:12.2f}")
+    return 0
+
+
 def _cmd_table1(args: argparse.Namespace) -> int:
     results = table1_runtime(
         node_counts=tuple(args.nodes), source_counts=tuple(args.sources)
@@ -193,6 +280,42 @@ def build_parser() -> argparse.ArgumentParser:
                        default="softlayer")
     fig12.add_argument("--requests", type=int, default=12)
     fig12.set_defaults(func=_cmd_fig12)
+
+    workload = sub.add_parser(
+        "workload", help="tenant-churn workload (arrivals + departures)"
+    )
+    workload.add_argument("--topology", choices=sorted(_NETWORKS),
+                          default="softlayer")
+    workload.add_argument("--topology-seed", type=int, default=1)
+    workload.add_argument("--process",
+                          choices=["poisson", "diurnal", "flash"],
+                          default="diurnal")
+    workload.add_argument("--rate", type=float, default=1.0,
+                          help="(base) arrivals per time unit")
+    workload.add_argument("--horizon", type=float, default=24.0,
+                          help="trace length in time units")
+    workload.add_argument("--amplitude", type=float, default=0.8,
+                          help="diurnal rate modulation in [0, 1]")
+    workload.add_argument("--period", type=float, default=24.0,
+                          help="diurnal period in time units")
+    workload.add_argument("--burst-start", type=float, default=8.0)
+    workload.add_argument("--burst-duration", type=float, default=4.0)
+    workload.add_argument("--burst-factor", type=float, default=5.0)
+    workload.add_argument("--hold-mean", type=float, default=6.0,
+                          help="mean exponential holding time")
+    holding = workload.add_mutually_exclusive_group()
+    holding.add_argument("--hold-fixed", type=float, default=None,
+                         help="fixed holding time (overrides --hold-mean)")
+    holding.add_argument("--no-departures", action="store_true",
+                         help="tenants never depart (the paper's model)")
+    workload.add_argument("--seed", type=int, default=0)
+    workload.add_argument("--baselines", action="store_true",
+                          help="also run eNEMP/eST/ST")
+    workload.add_argument("--record", metavar="PATH",
+                          help="record the schedule to a JSONL trace")
+    workload.add_argument("--replay", metavar="PATH",
+                          help="replay a recorded JSONL trace instead")
+    workload.set_defaults(func=_cmd_workload)
 
     table1 = sub.add_parser("table1", help="SOFDA runtime grid")
     table1.add_argument("--nodes", type=int, nargs="+",

@@ -7,6 +7,13 @@ Two uses, matching Section VIII-A's two scenarios:
 - **Online deployment**: usages start at zero and each embedded request
   adds its demand to every link/VM it uses; costs are re-derived from the
   updated loads (:class:`LoadTracker`).
+
+Tenant departures run the online bookkeeping in reverse:
+:meth:`LoadTracker.release_link_load` / :meth:`LoadTracker.release_node_load`
+subtract exactly the demand a departing forest's lease recorded, clamp
+floating-point residue at zero, and mark released links dirty so the next
+cost sync re-prices them *downward* -- the decrease-carrying edge-cost
+patches of the churn workload.
 """
 
 from __future__ import annotations
@@ -58,10 +65,50 @@ class LoadTracker:
     #: call -- lets graph/oracle maintenance stay incremental.
     dirty_links: set = field(default_factory=set)
 
+    #: Releases within this much of the recorded load are treated as
+    #: exact (floating-point residue from repeated add/release cycles);
+    #: anything further above the recorded load is a caller bug.
+    _RELEASE_TOLERANCE = 1e-9
+
     def add_link_load(self, u: Node, v: Node, demand: float) -> None:
-        """Add ``demand`` to link ``{u, v}``."""
+        """Add ``demand`` to link ``{u, v}`` (``demand`` must be >= 0).
+
+        A negative demand would silently corrupt utilisation and cost;
+        use :meth:`release_link_load` to take load off a link.
+        """
+        if demand < 0:
+            raise ValueError(
+                f"link demand must be >= 0, got {demand!r} for "
+                f"({u!r}, {v!r}); use release_link_load to remove load"
+            )
         key = canonical_edge(u, v)
         self.link_load[key] = self.link_load.get(key, 0.0) + demand
+        self.dirty_links.add(key)
+
+    def release_link_load(self, u: Node, v: Node, demand: float) -> None:
+        """Remove ``demand`` from link ``{u, v}`` (a tenant departing).
+
+        Releasing more than the link currently carries raises -- a lease
+        can only give back what :meth:`add_link_load` accounted -- and
+        the remaining load is clamped at zero so floating-point residue
+        from repeated arrive/depart cycles never leaves a phantom
+        utilisation.  The link is marked dirty, so the next cost sync
+        re-prices it downward (a decrease-carrying oracle patch).
+        """
+        if demand < 0:
+            raise ValueError(
+                f"released demand must be >= 0, got {demand!r} for "
+                f"({u!r}, {v!r})"
+            )
+        key = canonical_edge(u, v)
+        load = self.link_load.get(key, 0.0)
+        if demand > load + self._RELEASE_TOLERANCE:
+            raise ValueError(
+                f"cannot release {demand!r} Mbps from link {key!r} "
+                f"carrying only {load!r} Mbps"
+            )
+        remaining = load - demand
+        self.link_load[key] = remaining if remaining > self._RELEASE_TOLERANCE else 0.0
         self.dirty_links.add(key)
 
     def drain_dirty_links(self) -> set:
@@ -71,8 +118,33 @@ class LoadTracker:
         return dirty
 
     def add_node_load(self, node: Node, demand: float = 1.0) -> None:
-        """Add ``demand`` to a VM host."""
+        """Add ``demand`` to a VM host (``demand`` must be >= 0)."""
+        if demand < 0:
+            raise ValueError(
+                f"node demand must be >= 0, got {demand!r} for {node!r}; "
+                "use release_node_load to remove load"
+            )
         self.node_load[node] = self.node_load.get(node, 0.0) + demand
+
+    def release_node_load(self, node: Node, demand: float = 1.0) -> None:
+        """Remove ``demand`` from a VM host (slots freed by a departure).
+
+        Same contract as :meth:`release_link_load`: over-releasing
+        raises, residue clamps to zero.  Node costs are derived fresh at
+        each instance materialisation, so no dirty marking is needed.
+        """
+        if demand < 0:
+            raise ValueError(
+                f"released demand must be >= 0, got {demand!r} for {node!r}"
+            )
+        load = self.node_load.get(node, 0.0)
+        if demand > load + self._RELEASE_TOLERANCE:
+            raise ValueError(
+                f"cannot release {demand!r} slots from host {node!r} "
+                f"carrying only {load!r}"
+            )
+        remaining = load - demand
+        self.node_load[node] = remaining if remaining > self._RELEASE_TOLERANCE else 0.0
 
     def link_utilisation(self, u: Node, v: Node) -> float:
         """Current load of link {u, v} over its capacity."""

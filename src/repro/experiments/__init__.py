@@ -12,6 +12,7 @@ from repro.experiments.harness import (
     ALGORITHMS,
     SweepResult,
     default_algorithms,
+    run_churn_comparison,
     run_sweep,
 )
 from repro.experiments.figures import (
@@ -29,6 +30,7 @@ __all__ = [
     "ALGORITHMS",
     "SweepResult",
     "default_algorithms",
+    "run_churn_comparison",
     "run_sweep",
     "fig7_cost_function",
     "fig8_softlayer",

@@ -11,6 +11,12 @@ cells to a fork-based process pool: every cell builds its own instance
 from the same seeds, so the per-cell computation is identical to the
 serial path and the ordered merge makes the output deterministic --
 only the measured runtimes reflect the parallel wall clock.
+
+:func:`run_churn_comparison` is the tenant-lifecycle analogue of the
+online comparison: one embedder-independent workload schedule (arrivals
+with holding times, departures, background ticks -- see
+:mod:`repro.workload`) replayed through every algorithm on identical
+fresh simulators, reporting acceptance rates alongside costs.
 """
 
 from __future__ import annotations
@@ -85,6 +91,41 @@ class SweepResult:
                 min(self.mean_cost, key=lambda name: self.mean_cost[name][i])
             )
         return out
+
+
+def run_churn_comparison(
+    network_factory: Callable[[], CloudNetwork],
+    embedders: Dict[str, Embedder],
+    schedule: Sequence,
+    vms_per_datacenter: int = 5,
+    **simulator_kwargs,
+) -> Dict[str, "ChurnResult"]:
+    """Replay one churn schedule through every algorithm.
+
+    The tenant-lifecycle counterpart of
+    :func:`repro.online.run_online_comparison`: each algorithm gets a
+    fresh :class:`~repro.online.simulator.OnlineSimulator` over an
+    identical topology and its own
+    :class:`~repro.workload.WorkloadEngine`, so load state never leaks
+    between competitors while every one sees the identical
+    embedder-independent event sequence (typically a recorded or
+    replayed trace -- see :mod:`repro.workload.trace`).
+    ``simulator_kwargs`` (``incremental``, ``planner``, ...) reach every
+    simulator, which keeps A/B configuration comparisons on one
+    algorithm equally easy.
+    """
+    from repro.online.simulator import OnlineSimulator
+    from repro.workload.lifecycle import ChurnResult, WorkloadEngine  # noqa: F401
+
+    results: Dict[str, ChurnResult] = {}
+    for name, embedder in embedders.items():
+        simulator = OnlineSimulator(
+            network_factory(), vms_per_datacenter=vms_per_datacenter,
+            **simulator_kwargs,
+        )
+        engine = WorkloadEngine(simulator, embedder, name=name)
+        results[name] = engine.run(schedule)
+    return results
 
 
 #: Shared state for sweep cells.  Populated in the parent before the

@@ -12,11 +12,17 @@ from repro.online.rerouting import (
     congested_forest_links,
     reroute_forest_around_congestion,
 )
-from repro.online.simulator import OnlineResult, OnlineSimulator, run_online_comparison
+from repro.online.simulator import (
+    Lease,
+    OnlineResult,
+    OnlineSimulator,
+    run_online_comparison,
+)
 
 __all__ = [
     "Request",
     "RequestGenerator",
+    "Lease",
     "OnlineResult",
     "OnlineSimulator",
     "run_online_comparison",

@@ -1,28 +1,59 @@
-"""The online embedding loop (Fig. 12).
+"""The online embedding loop (Fig. 12) with tenant lifecycles.
 
 Each algorithm runs in its own :class:`OnlineSimulator`, which owns a
-topology copy with 5 VMs per data center (the paper's online setup), a
-:class:`~repro.costmodel.LoadTracker`, and the accumulative cost series.
-Replaying the same :class:`~repro.online.requests.Request` list into
-several simulators compares algorithms on identical workloads.
+topology copy with 5 VMs per data center (the paper's Section VIII-A
+online setup), a :class:`~repro.costmodel.LoadTracker`, and the
+accumulative cost series.  Replaying the same
+:class:`~repro.online.requests.Request` list into several simulators
+compares algorithms on identical workloads.
+
+Beyond the paper's arrivals-only model, committed forests are leased,
+not permanent: :meth:`OnlineSimulator.commit` returns a :class:`Lease`
+recording exactly the link/node loads it accounted, and
+:meth:`OnlineSimulator.release` hands them back when the tenant departs.
+Released links re-price downward at the next cost sync, reaching the
+shared oracle as *decrease*-carrying
+:meth:`~repro.graph.indexed.FrozenOracle.patch_edge_costs` batches (the
+per-row reference repair path -- a decrease moves parents mid-repair, so
+the cross-row plan does not apply).
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Dict, Hashable, List, Optional, Sequence
+from typing import Callable, Dict, Hashable, List, Optional, Sequence, Tuple
 
 from repro.core.forest import ServiceOverlayForest
 from repro.core.problem import SOFInstance
 from repro.costmodel import LoadTracker
 from repro.graph import FrozenOracle
+from repro.graph.graph import canonical_edge
 from repro.online.requests import Request
 from repro.topology.network import CloudNetwork
 
 Node = Hashable
+Edge = Tuple[Node, Node]
 
 #: An embedding algorithm: SOFInstance -> ServiceOverlayForest.
 Embedder = Callable[[SOFInstance], ServiceOverlayForest]
+
+
+@dataclass
+class Lease:
+    """The exact loads one committed forest holds until it departs.
+
+    ``link_loads`` maps canonical edges to the *total* demand
+    :meth:`OnlineSimulator.commit` accounted on them (an edge reused by
+    several chain stages is charged once per stage, and the lease records
+    the sum); ``node_loads`` records the slot demand per enabled VM.
+    :meth:`OnlineSimulator.release` reverses precisely these amounts, so
+    arrive/depart cycles are lossless.
+    """
+
+    request_index: int
+    link_loads: Tuple[Tuple[Edge, float], ...]
+    node_loads: Tuple[Tuple[Node, float], ...]
+    released: bool = False
 
 
 @dataclass
@@ -146,6 +177,11 @@ class OnlineSimulator:
         dense-patch row repair instead of evicting the pool rows as
         idle.
         """
+        if demand_mbps < 0:
+            raise ValueError(
+                f"background demand must be >= 0, got {demand_mbps!r}; "
+                "departures release load through Lease/release instead"
+            )
         self._oracle.warm(self._vms)
         for u, v in links:
             self._tracker.add_link_load(u, v, demand_mbps)
@@ -175,10 +211,22 @@ class OnlineSimulator:
         instance._oracle = self._oracle
         return instance
 
-    def commit(self, forest: ServiceOverlayForest, request: Request) -> None:
-        """Account the embedded forest's bandwidth and host load."""
+    def commit(self, forest: ServiceOverlayForest, request: Request) -> Lease:
+        """Account the embedded forest's bandwidth and host load.
+
+        Returns a :class:`Lease` recording exactly what was accounted, so
+        the tenant's departure can hand the same loads back through
+        :meth:`release`.
+        """
         num_functions = len(request.chain)
         seen = set()
+        link_totals: Dict[Edge, float] = {}
+
+        def charge(u: Node, v: Node) -> None:
+            self._tracker.add_link_load(u, v, request.demand_mbps)
+            key = canonical_edge(u, v)
+            link_totals[key] = link_totals.get(key, 0.0) + request.demand_mbps
+
         for chain in forest.chains:
             stage = 0
             for i in range(len(chain.walk) - 1):
@@ -188,25 +236,63 @@ class OnlineSimulator:
                 if key in seen:
                     continue
                 seen.add(key)
-                self._tracker.add_link_load(
-                    chain.walk[i], chain.walk[i + 1], request.demand_mbps
-                )
+                charge(chain.walk[i], chain.walk[i + 1])
         for u, v in forest.tree_edges:
             if (num_functions, u, v) in seen or (num_functions, v, u) in seen:
                 continue
-            self._tracker.add_link_load(u, v, request.demand_mbps)
+            charge(u, v)
+        node_totals: Dict[Node, float] = {}
         for vm in forest.enabled:
             self._tracker.add_node_load(vm, 1.0)
+            node_totals[vm] = node_totals.get(vm, 0.0) + 1.0
+        return Lease(
+            request_index=request.index,
+            link_loads=tuple(link_totals.items()),
+            node_loads=tuple(node_totals.items()),
+        )
 
-    def embed(self, request: Request, embedder: Embedder) -> Optional[float]:
-        """Embed one request; returns its cost, or ``None`` on rejection."""
+    def release(self, lease: Lease) -> None:
+        """Reverse a committed lease (the tenant departs).
+
+        Hands back exactly the link bandwidth and VM slots the lease
+        recorded, through :meth:`LoadTracker.release_link_load` /
+        :meth:`LoadTracker.release_node_load` (over-release raises,
+        residue clamps at zero, released links are marked dirty).  The
+        next cost sync then re-prices the freed links downward -- a
+        decrease-carrying oracle patch.  A lease can be released once.
+        """
+        if lease.released:
+            raise ValueError(
+                f"lease for request {lease.request_index} already released"
+            )
+        for (u, v), demand in lease.link_loads:
+            self._tracker.release_link_load(u, v, demand)
+        for node, demand in lease.node_loads:
+            self._tracker.release_node_load(node, demand)
+        lease.released = True
+
+    def embed_leased(
+        self, request: Request, embedder: Embedder
+    ) -> Tuple[Optional[float], Optional[Lease]]:
+        """Embed one request; returns ``(cost, lease)``.
+
+        ``(None, None)`` marks a rejection (the embedder raised).  This
+        is the one place the rejection policy and the evaluate-cost-
+        before-commit ordering live; :meth:`embed` and the workload
+        engine's arrival path both delegate here, so online-comparison
+        and churn runs can never diverge in acceptance semantics.
+        """
         instance = self.current_instance(request)
         try:
             forest = embedder(instance)
         except Exception:
-            return None
+            return None, None
         cost = forest.total_cost()
-        self.commit(forest, request)
+        return cost, self.commit(forest, request)
+
+    def embed(self, request: Request, embedder: Embedder) -> Optional[float]:
+        """Embed one request; returns its cost, or ``None`` on rejection."""
+        cost, _ = self.embed_leased(request, embedder)
         return cost
 
 

@@ -1,0 +1,60 @@
+"""Tenant-churn workload engine (arrivals, departures, trace replay).
+
+The paper's online evaluation (Section VIII-A, Fig. 12) replays a flat
+request *list*; this package upgrades that to full tenant lifecycles:
+
+- :mod:`~repro.workload.processes` -- seeded Poisson / diurnal /
+  flash-crowd arrival processes yielding timestamped requests.
+- :mod:`~repro.workload.lifecycle` -- the :class:`WorkloadEngine` event
+  loop interleaving arrivals, holding-time departures (released leases
+  flow back to the oracle as decrease patches), and background-load
+  ticks in deterministic timestamp order.
+- :mod:`~repro.workload.trace` -- JSONL record/replay so different
+  embedders and simulator configurations see bit-identical workloads.
+"""
+
+from repro.workload.lifecycle import (
+    BackgroundChurn,
+    ChurnResult,
+    ExponentialHolding,
+    FixedHolding,
+    WorkloadEngine,
+    WorkloadEvent,
+    build_schedule,
+)
+from repro.workload.processes import (
+    Arrival,
+    ArrivalProcess,
+    DiurnalArrivals,
+    FlashCrowdArrivals,
+    PoissonArrivals,
+)
+from repro.workload.trace import (
+    dump_trace,
+    load_trace,
+    load_trace_metadata,
+    read_trace,
+    read_trace_metadata,
+    write_trace,
+)
+
+__all__ = [
+    "Arrival",
+    "ArrivalProcess",
+    "BackgroundChurn",
+    "ChurnResult",
+    "DiurnalArrivals",
+    "ExponentialHolding",
+    "FixedHolding",
+    "FlashCrowdArrivals",
+    "PoissonArrivals",
+    "WorkloadEngine",
+    "WorkloadEvent",
+    "build_schedule",
+    "dump_trace",
+    "load_trace",
+    "load_trace_metadata",
+    "read_trace",
+    "read_trace_metadata",
+    "write_trace",
+]

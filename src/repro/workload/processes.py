@@ -1,0 +1,180 @@
+"""Seeded arrival processes for the tenant-churn workload engine.
+
+Section VIII-A's online scenario fixes the *content* of each request
+(source/destination counts, 3 services, 5 Mbps) but treats arrivals as a
+plain sequence.  Production traffic is not: tenants arrive at a rate that
+varies over the day and occasionally spikes.  This module provides three
+seeded arrival-time processes -- all thinning-based, so the same seed
+always reproduces the same timestamps -- and pairs each accepted arrival
+time with the next :class:`~repro.online.requests.Request` from the
+existing :class:`~repro.online.requests.RequestGenerator` (which keeps
+the paper's per-topology request mix intact):
+
+- :class:`PoissonArrivals`: constant rate (memoryless inter-arrivals),
+  the paper-faithful steady stream.
+- :class:`DiurnalArrivals`: sinusoidal day/night modulation of the rate.
+- :class:`FlashCrowdArrivals`: a constant base rate with one burst
+  window at a multiplied rate (a flash crowd / launch event).
+
+Arrival *times* and request *contents* come from independent seeded
+streams, so two processes over the same generator seed draw identical
+request sequences even when their timestamps differ.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass
+from typing import Iterator, List
+
+from repro.online.requests import Request, RequestGenerator
+
+
+@dataclass(frozen=True)
+class Arrival:
+    """One timestamped tenant arrival."""
+
+    time: float
+    request: Request
+
+
+class ArrivalProcess:
+    """Base: an inhomogeneous Poisson process realised by thinning.
+
+    Subclasses define ``rate(t)`` (instantaneous arrivals per unit time)
+    and ``peak_rate`` (an upper bound on ``rate``).  Candidate points are
+    drawn at ``peak_rate`` and accepted with probability
+    ``rate(t) / peak_rate`` (Lewis--Shedler thinning), so the realised
+    process is exact for any bounded rate function and fully determined
+    by the seed.
+    """
+
+    def __init__(self, generator: RequestGenerator, seed: int = 0) -> None:
+        self._generator = generator
+        self._rng = random.Random(seed)
+
+    # -- subclass surface ------------------------------------------------
+    def rate(self, t: float) -> float:
+        """Instantaneous arrival rate at time ``t``."""
+        raise NotImplementedError
+
+    @property
+    def peak_rate(self) -> float:
+        """An upper bound on :meth:`rate` over the whole horizon."""
+        raise NotImplementedError
+
+    # --------------------------------------------------------------------
+    def arrivals(self, horizon: float) -> Iterator[Arrival]:
+        """Yield :class:`Arrival`\\ s with ``0 < time <= horizon``."""
+        peak = self.peak_rate
+        if peak <= 0:
+            raise ValueError(f"peak_rate must be positive, got {peak!r}")
+        rng = self._rng
+        t = 0.0
+        while True:
+            t += rng.expovariate(peak)
+            if t > horizon:
+                return
+            if rng.random() * peak <= self.rate(t):
+                yield Arrival(time=t, request=self._generator.next_request())
+
+    def take(self, horizon: float) -> List[Arrival]:
+        """Materialise every arrival up to ``horizon``."""
+        return list(self.arrivals(horizon))
+
+
+class PoissonArrivals(ArrivalProcess):
+    """Constant-rate arrivals: exponential inter-arrival times."""
+
+    def __init__(
+        self, generator: RequestGenerator, rate: float, seed: int = 0
+    ) -> None:
+        if rate <= 0:
+            raise ValueError(f"rate must be positive, got {rate!r}")
+        super().__init__(generator, seed=seed)
+        self._rate = rate
+
+    def rate(self, t: float) -> float:
+        return self._rate
+
+    @property
+    def peak_rate(self) -> float:
+        return self._rate
+
+
+class DiurnalArrivals(ArrivalProcess):
+    """Day/night rate modulation: ``base * (1 + amplitude * sin(...))``.
+
+    ``period`` is the length of one "day" in trace time units; the rate
+    peaks a quarter-period in (``t = period/4`` with ``phase=0``) and
+    bottoms out three quarters in.  ``amplitude`` in ``[0, 1]`` keeps the
+    rate non-negative.
+    """
+
+    def __init__(
+        self,
+        generator: RequestGenerator,
+        base_rate: float,
+        amplitude: float = 0.8,
+        period: float = 24.0,
+        phase: float = 0.0,
+        seed: int = 0,
+    ) -> None:
+        if base_rate <= 0:
+            raise ValueError(f"base_rate must be positive, got {base_rate!r}")
+        if not 0.0 <= amplitude <= 1.0:
+            raise ValueError(f"amplitude must be in [0, 1], got {amplitude!r}")
+        if period <= 0:
+            raise ValueError(f"period must be positive, got {period!r}")
+        super().__init__(generator, seed=seed)
+        self._base = base_rate
+        self._amplitude = amplitude
+        self._period = period
+        self._phase = phase
+
+    def rate(self, t: float) -> float:
+        angle = 2.0 * math.pi * (t + self._phase) / self._period
+        return self._base * (1.0 + self._amplitude * math.sin(angle))
+
+    @property
+    def peak_rate(self) -> float:
+        return self._base * (1.0 + self._amplitude)
+
+
+class FlashCrowdArrivals(ArrivalProcess):
+    """Base-rate arrivals with one burst window at a multiplied rate."""
+
+    def __init__(
+        self,
+        generator: RequestGenerator,
+        base_rate: float,
+        burst_start: float,
+        burst_duration: float,
+        burst_factor: float = 5.0,
+        seed: int = 0,
+    ) -> None:
+        if base_rate <= 0:
+            raise ValueError(f"base_rate must be positive, got {base_rate!r}")
+        if burst_duration < 0:
+            raise ValueError(
+                f"burst_duration must be >= 0, got {burst_duration!r}"
+            )
+        if burst_factor < 1.0:
+            raise ValueError(
+                f"burst_factor must be >= 1, got {burst_factor!r}"
+            )
+        super().__init__(generator, seed=seed)
+        self._base = base_rate
+        self._burst_start = burst_start
+        self._burst_end = burst_start + burst_duration
+        self._factor = burst_factor
+
+    def rate(self, t: float) -> float:
+        if self._burst_start <= t < self._burst_end:
+            return self._base * self._factor
+        return self._base
+
+    @property
+    def peak_rate(self) -> float:
+        return self._base * self._factor

@@ -409,3 +409,58 @@ def test_reroute_congested_link_uses_rebased_oracle():
         assert new_instance.oracle.distance(a, b) == pytest.approx(
             fresh.distance(a, b), rel=0, abs=1e-9
         )
+
+
+# ----------------------------------------------------------------------
+# tenant churn: decrease-carrying patch batches from lease releases
+# ----------------------------------------------------------------------
+def _churn_trace_costs(incremental, seed=17, requests=9):
+    """Replay one arrive/depart stream; returns (costs, decrease_batches).
+
+    Departures release leases, so the next cost sync hands the oracle a
+    batch containing *decreases* -- the patch direction no arrivals-only
+    workload produces.  The stream (requests and departure draws) is a
+    pure function of the seeds, so both oracle modes see identical
+    workloads.
+    """
+    from repro import sofda
+    from repro.online import OnlineSimulator, RequestGenerator
+
+    network = softlayer_network(seed=3)
+    simulator = OnlineSimulator(network, incremental=incremental)
+    generator = RequestGenerator(network, seed=5, destinations_range=(3, 4),
+                                 sources_range=(2, 2))
+    rng = random.Random(seed)
+    decrease_batches = 0
+    if incremental:
+        oracle = simulator._oracle
+        graph = simulator._graph
+        original = oracle.patch_edge_costs
+
+        def spying_patch(changed):
+            nonlocal decrease_batches
+            if any(cost < graph.cost(u, v) for (u, v), cost in changed.items()):
+                decrease_batches += 1
+            return original(changed)
+
+        oracle.patch_edge_costs = spying_patch
+    active, costs = [], []
+    for _ in range(requests):
+        request = generator.next_request()
+        instance = simulator.current_instance(request)
+        forest = sofda(instance).forest
+        costs.append(forest.total_cost())
+        active.append(simulator.commit(forest, request))
+        while active and rng.random() < 0.45:
+            simulator.release(active.pop(rng.randrange(len(active))))
+    return costs, decrease_batches
+
+
+def test_churn_decrease_batches_match_full_rebuild():
+    """Patching through decreases must equal the invalidate reference."""
+    patched, decrease_batches = _churn_trace_costs(incremental=True)
+    rebuilt, _ = _churn_trace_costs(incremental=False)
+    # The stream must actually exercise the decrease path, not just
+    # happen to pass without it.
+    assert decrease_batches >= 2
+    assert patched == rebuilt

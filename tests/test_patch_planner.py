@@ -364,3 +364,50 @@ def test_planner_matches_per_row_contracted(contracted_instance, monkeypatch):
             expected = legacy.distances_from(source)
             assert planned.distances_from(source) == expected
             assert shared.distances_from(source) == expected
+
+
+# ----------------------------------------------------------------------
+# tenant churn: planner/share modes across decrease-carrying batches
+# ----------------------------------------------------------------------
+def _churn_costs(planner, share_regions, seed=23, requests=9):
+    """One randomized arrive/depart stream through the online simulator.
+
+    Lease releases make the next sync a decrease-carrying batch -- the
+    case the planner routes to the per-row reference -- while arrival
+    commits stay pure increases on the planned path, so one stream
+    exercises the mode switch both ways.  The stream is a pure function
+    of the seeds: every configuration replays the identical workload.
+    """
+    from repro import sofda
+    from repro.online import OnlineSimulator, RequestGenerator
+    from repro.topology import softlayer_network
+
+    network = softlayer_network(seed=3)
+    simulator = OnlineSimulator(network, incremental=True, planner=planner,
+                                share_regions=share_regions)
+    generator = RequestGenerator(network, seed=5, destinations_range=(3, 4),
+                                 sources_range=(2, 2))
+    rng = random.Random(seed)
+    active, costs = [], []
+    for _ in range(requests):
+        request = generator.next_request()
+        instance = simulator.current_instance(request)
+        forest = sofda(instance).forest
+        costs.append(forest.total_cost())
+        active.append(simulator.commit(forest, request))
+        while active and rng.random() < 0.45:
+            simulator.release(active.pop(rng.randrange(len(active))))
+    return costs
+
+
+def test_churn_planner_modes_bit_identical(monkeypatch):
+    """Arrive/depart streams must not depend on planner/share modes."""
+    # Force region sharing to engage on the shared run even at this
+    # small scale, so all three repair paths really differ.
+    monkeypatch.setattr(indexed, "PLANNER_SHARE_MIN_ROWS", 1)
+    monkeypatch.setattr(indexed, "PLANNER_SHARE_DENSITY", 0.0)
+    shared = _churn_costs(planner=True, share_regions=True)
+    planned = _churn_costs(planner=True, share_regions=False)
+    per_row = _churn_costs(planner=False, share_regions=False)
+    assert planned == per_row
+    assert shared == planned
