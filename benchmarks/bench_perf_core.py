@@ -33,6 +33,13 @@ tracks the *repo's own* performance trajectory.  It measures:
   acceptance metric for the workload-engine PR.  Departures release
   leases, so the syncs carry *decrease* batches (the per-row reference
   repair path) that no arrivals-only trace produces;
+- ``online_failures_s`` / ``online_failures_invalidate_s``: the churn
+  workload with a seeded MTBF/MTTR link-failure process interleaved --
+  the acceptance metric for the link-failure PR.  Each failure reaches
+  the oracle as a ``patch_topology`` tombstone repair (versus a full
+  invalidate in the reference), crossing tenants are mass-rerouted or
+  released as disrupted, and each recovery is a decrease-from-infinity
+  reinsert;
 - ``sweep_slice_s`` / ``sweep_serial_s``: a small ``run_sweep`` slice with
   ``workers=4`` vs serial (speedup needs a multi-core runner; single-core
   CI only checks the outputs match).
@@ -49,7 +56,9 @@ repair path must stay bit-identical to the per-row reference on the
 many-rows trace, the region-shared repair must stay bit-identical
 to the unshared planned path on the dense-patch trace, and the churn
 trace's incremental run must stay bit-identical (costs *and* acceptance
-decisions) to the full-invalidate reference across its decrease batches.
+decisions) to the full-invalidate reference across its decrease batches,
+and the failure trace's topology patches must stay bit-identical (costs,
+acceptances, reroutes, *and* disruptions) to the same reference.
 """
 
 from __future__ import annotations
@@ -343,6 +352,88 @@ def _run_churn_trace(incremental: bool):
     return result, elapsed
 
 
+#: Failure trace shape: the churn topology and arrival stream with a
+#: seeded MTBF/MTTR renewal process over 32 physical links interleaved.
+#: Each failure tombstones an edge (incremental) or forces a full
+#: invalidate (reference); each recovery is a decrease-from-infinity.
+#: Crossing tenants are mass-rerouted or released, so the trace tracks
+#: availability decisions alongside acceptance.
+_FAILURE_LINKS = 32
+_FAILURE_MTBF = 25.0
+_FAILURE_MTTR = 1.0
+
+
+def _failure_schedule(network):
+    """One embedder-independent failure schedule (pure function of seeds)."""
+    from repro.online import RequestGenerator as _RequestGenerator
+    from repro.workload import (
+        ExponentialHolding,
+        LinkFailureProcess,
+        PoissonArrivals,
+        build_schedule,
+    )
+
+    generator = _RequestGenerator(
+        network, seed=0, destinations_range=(3, 4), sources_range=(2, 2)
+    )
+    process = PoissonArrivals(generator, rate=_CHURN_RATE, seed=1)
+    holding = ExponentialHolding(mean=_CHURN_HOLD_MEAN, seed=2)
+    # Seeded sample over the datacenter-incident edges.  The low-id
+    # edges sit on the Inet seed-triangle hubs and appear in nearly
+    # every row's shortest-path tree (every failure a worst-case
+    # whole-graph repair region), while uniformly sampled edges are
+    # almost never carried by a lease (paths ride the hubs), so neither
+    # extreme exercises mass rerouting.  Datacenter-incident links are
+    # on tenants' first/last hops but in few rows' trees: crossing
+    # leases with representative repair regions.
+    datacenters = set(network.datacenters)
+    links = sorted(
+        (
+            (u, v)
+            for u, v, _ in network.graph.edges()
+            if u in datacenters or v in datacenters
+        ),
+        key=edge_sort_key,
+    )
+    links = random.Random(6).sample(links, _FAILURE_LINKS)
+    failures = LinkFailureProcess(
+        links, mtbf=_FAILURE_MTBF, mttr=_FAILURE_MTTR, seed=3
+    )
+    return build_schedule(
+        process, horizon=_CHURN_HORIZON, holding=holding, failures=failures,
+    )
+
+
+def _run_failure_trace(incremental: bool):
+    """Replay the failure-recovery workload through one oracle mode.
+
+    Mirrors :func:`_run_churn_trace` (cold build outside the timed
+    window) with link failures and recoveries interleaved into the
+    churn: ``incremental=True`` absorbs each topology change as a
+    :meth:`FrozenOracle.patch_topology` tombstone repair, the reference
+    invalidates and rebuilds every cached row.  Returns
+    ``(ChurnResult, elapsed_seconds)``.
+    """
+    from repro.workload import WorkloadEngine
+
+    network = _churn_network()
+    simulator = OnlineSimulator(
+        network, vms_per_datacenter=5, incremental=incremental
+    )
+    schedule = _failure_schedule(network)
+    engine = WorkloadEngine(simulator, lambda inst: sofda(inst).forest)
+    simulator.apply_background_load((), 0.0)  # warm the pool rows
+    gc.collect()  # the timed window should not pay for earlier sections
+    start = time.perf_counter()
+    result = engine.run(schedule)
+    elapsed = time.perf_counter() - start
+    assert result.failures > 0 and result.recoveries == result.failures, (
+        f"failure trace must fail and recover links "
+        f"(failures={result.failures}, recoveries={result.recoveries})"
+    )
+    return result, elapsed
+
+
 def _run_sweep_slice(network, workers: int):
     """One tracked sweep slice; returns ``(result, elapsed_seconds)``.
 
@@ -424,6 +515,15 @@ def run_perf_core() -> dict:
         churn_patched, elapsed = _run_churn_trace(incremental=True)
         churn_patch_s = min(churn_patch_s, elapsed)
 
+    # Interleaved best-of-two for the failure-recovery ratio: topology
+    # tombstone patches versus invalidate-and-rebuild per link event.
+    failures_invalidate_s = failures_patch_s = float("inf")
+    for _ in range(2):
+        failures_rebuild, elapsed = _run_failure_trace(incremental=False)
+        failures_invalidate_s = min(failures_invalidate_s, elapsed)
+        failures_patched, elapsed = _run_failure_trace(incremental=True)
+        failures_patch_s = min(failures_patch_s, elapsed)
+
     sweep_network = softlayer_network(seed=1)
     sweep_serial, sweep_serial_s = _run_sweep_slice(sweep_network, workers=1)
     sweep_pooled, sweep_pooled_s = _run_sweep_slice(sweep_network, workers=4)
@@ -466,6 +566,27 @@ def run_perf_core() -> dict:
             == [c is None for c in churn_rebuild.per_request_cost]
             and churn_patched.departures == churn_rebuild.departures
         ),
+        "online_failures_s": round(failures_patch_s, 4),
+        "online_failures_invalidate_s": round(failures_invalidate_s, 4),
+        "online_failures_cost": failures_patched.total_cost,
+        "online_failures_max_request_drift": max(
+            abs(a - b) if a is not None and b is not None else (
+                0.0 if a is None and b is None else float("inf")
+            )
+            for a, b in zip(
+                failures_patched.per_request_cost,
+                failures_rebuild.per_request_cost,
+            )
+        ),
+        "online_failures_decisions_match": (
+            [c is None for c in failures_patched.per_request_cost]
+            == [c is None for c in failures_rebuild.per_request_cost]
+            and failures_patched.rerouted == failures_rebuild.rerouted
+            and failures_patched.disrupted == failures_rebuild.disrupted
+            and failures_patched.departures == failures_rebuild.departures
+        ),
+        "online_failures_rerouted": failures_patched.rerouted,
+        "online_failures_disrupted": failures_patched.disrupted,
         "sweep_slice_s": round(sweep_pooled_s, 4),
         "sweep_serial_s": round(sweep_serial_s, 4),
         "sweep_outputs_match": (
@@ -488,7 +609,8 @@ def test_perf_core(once):
     print("\nPerf core -- seed vs latest")
     for key in ("dict_dijkstra_ms", "oracle_row_ms", "sofda_largest_s",
                 "online_trace_s", "online_many_rows_s",
-                "online_dense_patch_s", "online_churn_s", "sweep_slice_s"):
+                "online_dense_patch_s", "online_churn_s",
+                "online_failures_s", "sweep_slice_s"):
         before = seed.get(key)
         after = measured[key]
         ratio = f"  ({before / after:.2f}x)" if before else ""
@@ -512,6 +634,13 @@ def test_perf_core(once):
         f"  churn trace: invalidate {measured['online_churn_invalidate_s']}s"
         f" -> patch {measured['online_churn_s']}s"
         f" ({measured['online_churn_invalidate_s'] / measured['online_churn_s']:.2f}x)"
+    )
+    print(
+        f"  failure trace: invalidate {measured['online_failures_invalidate_s']}s"
+        f" -> patch {measured['online_failures_s']}s"
+        f" ({measured['online_failures_invalidate_s'] / measured['online_failures_s']:.2f}x,"
+        f" {measured['online_failures_rerouted']} rerouted,"
+        f" {measured['online_failures_disrupted']} disrupted)"
     )
     print(
         f"  sweep slice: serial {measured['sweep_serial_s']}s"
@@ -564,6 +693,18 @@ def test_perf_core(once):
         or abs(measured["online_churn_cost"] - seed["online_churn_cost"])
         <= 1e-6
     )
+    # Topology tombstone repairs serve the same shortest paths as a
+    # rebuild over the mutated graph, so the failure trace must not
+    # diverge in forest costs, acceptances, reroutes, or disruptions.
+    failures_ok = (
+        measured["online_failures_max_request_drift"] == 0.0
+        and measured["online_failures_decisions_match"]
+    )
+    failures_baseline_ok = (
+        seed.get("online_failures_cost") is None
+        or abs(measured["online_failures_cost"]
+               - seed["online_failures_cost"]) <= 1e-6
+    )
     if _strict():
         assert cost_ok, "largest-cell forest cost drifted from the baseline"
         assert trace_ok, "patched online trace diverged from full rebuild"
@@ -588,6 +729,13 @@ def test_perf_core(once):
         )
         assert churn_baseline_ok, (
             "churn trace cost drifted from the baseline"
+        )
+        assert failures_ok, (
+            "failure trace (topology patches) diverged from the "
+            "full-invalidate reference"
+        )
+        assert failures_baseline_ok, (
+            "failure trace cost drifted from the baseline"
         )
         assert measured["sweep_outputs_match"], "pooled sweep != serial sweep"
     shape_check("forest cost unchanged on the seeded largest cell", cost_ok)
@@ -631,6 +779,15 @@ def test_perf_core(once):
         "churn trace at least 1.2x faster than the full-invalidate path",
         measured["online_churn_s"] * 1.2
         <= measured["online_churn_invalidate_s"],
+    )
+    shape_check("failure trace: patch == rebuild, costs and availability "
+                "decisions bit-identical", failures_ok)
+    shape_check("failure trace cost matches committed baseline",
+                failures_baseline_ok)
+    shape_check(
+        "failure trace at least 1.2x faster than the full-invalidate path",
+        measured["online_failures_s"] * 1.2
+        <= measured["online_failures_invalidate_s"],
     )
     shape_check("pooled sweep output identical to serial",
                 measured["sweep_outputs_match"])

@@ -133,6 +133,7 @@ def _cmd_workload(args: argparse.Namespace) -> int:
         ExponentialHolding,
         FixedHolding,
         FlashCrowdArrivals,
+        LinkFailureProcess,
         PoissonArrivals,
         build_schedule,
         read_trace,
@@ -180,7 +181,24 @@ def _cmd_workload(args: argparse.Namespace) -> int:
             holding = None
         else:
             holding = ExponentialHolding(args.hold_mean, seed=args.seed + 2)
-        schedule = build_schedule(process, horizon=args.horizon, holding=holding)
+        failures = None
+        if args.fail_links > 0:
+            # Deterministic failure-prone subset of the physical links:
+            # seeded sample over the repr-sorted edge list.
+            import random as _random
+
+            links = sorted(
+                ((u, v) for u, v, _ in network.graph.edges()), key=repr
+            )
+            picked = _random.Random(args.failure_seed).sample(
+                links, min(args.fail_links, len(links))
+            )
+            failures = LinkFailureProcess(
+                picked, mtbf=args.mtbf, mttr=args.mttr,
+                seed=args.failure_seed,
+            )
+        schedule = build_schedule(process, horizon=args.horizon,
+                                  holding=holding, failures=failures)
         print(f"built {len(schedule)} events "
               f"({args.process} arrivals over horizon {args.horizon})")
     if args.record:
@@ -197,15 +215,25 @@ def _cmd_workload(args: argparse.Namespace) -> int:
             {"eNEMP": enemp_baseline, "eST": est_baseline, "ST": st_baseline}
         )
     results = run_churn_comparison(factory, embedders, schedule)
-    print(f"\n{'algo':8s} {'arrive':>6s} {'accept':>6s} {'reject':>6s} "
-          f"{'rate':>6s} {'depart':>6s} {'peak':>5s} {'active':>6s} "
-          f"{'total cost':>12s}")
+    with_failures = any(r.failures for r in results.values())
+    header = (f"\n{'algo':8s} {'arrive':>6s} {'accept':>6s} {'reject':>6s} "
+              f"{'rate':>6s} {'depart':>6s} {'peak':>5s} {'active':>6s} "
+              f"{'total cost':>12s}")
+    if with_failures:
+        header += (f" {'fails':>5s} {'rerte':>5s} {'disrp':>5s} "
+                   f"{'d-rate':>6s} {'mttr':>6s}")
+    print(header)
     for name, result in results.items():
         arrivals = result.accepted + result.rejected
-        print(f"{name:8s} {arrivals:6d} {result.accepted:6d} "
-              f"{result.rejected:6d} {result.acceptance_rate:5.1%} "
-              f"{result.departures:6d} {result.peak_active:5d} "
-              f"{result.final_active:6d} {result.total_cost:12.2f}")
+        row = (f"{name:8s} {arrivals:6d} {result.accepted:6d} "
+               f"{result.rejected:6d} {result.acceptance_rate:5.1%} "
+               f"{result.departures:6d} {result.peak_active:5d} "
+               f"{result.final_active:6d} {result.total_cost:12.2f}")
+        if with_failures:
+            row += (f" {result.failures:5d} {result.rerouted:5d} "
+                    f"{result.disrupted:5d} {result.disruption_rate:5.1%} "
+                    f"{result.mean_recovery_latency:6.2f}")
+        print(row)
     return 0
 
 
@@ -309,6 +337,16 @@ def build_parser() -> argparse.ArgumentParser:
     holding.add_argument("--no-departures", action="store_true",
                          help="tenants never depart (the paper's model)")
     workload.add_argument("--seed", type=int, default=0)
+    workload.add_argument("--fail-links", type=int, default=0,
+                          help="number of failure-prone links (0 = no "
+                               "failure injection)")
+    workload.add_argument("--mtbf", type=float, default=50.0,
+                          help="mean time between failures per link")
+    workload.add_argument("--mttr", type=float, default=2.0,
+                          help="mean time to recovery per failure")
+    workload.add_argument("--failure-seed", type=int, default=0,
+                          help="seed for link sampling and the MTBF/MTTR "
+                               "renewal draws")
     workload.add_argument("--baselines", action="store_true",
                           help="also run eNEMP/eST/ST")
     workload.add_argument("--record", metavar="PATH",

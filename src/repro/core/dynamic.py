@@ -443,6 +443,105 @@ def reroute_congested_link(
     return new_instance, out
 
 
+def reroute_failed_link(
+    forest: ServiceOverlayForest, link: Tuple[Node, Node]
+) -> ServiceOverlayForest:
+    """Re-stitch a forest after its instance lost ``link`` entirely.
+
+    The failure variant of :func:`reroute_congested_link`: the topology
+    change has *already* been applied to the forest's live instance (the
+    link is gone from the graph and the oracle repaired or invalidated),
+    so no graph copy or rebased oracle is built -- every fresh path is
+    asked of the shared post-failure oracle.  Each chain crossing the
+    dead link is rebuilt between its surviving anchors; a delivery tail
+    crossing it is re-issued as fresh shortest paths through the
+    destinations it used to pass (a congested link merely got expensive,
+    but a dead one cannot be walked at any price).  Distribution edges
+    drop the dead link and re-join any disconnected destinations.
+
+    Raises :class:`DynamicError` when no surviving path exists for some
+    required connection -- the caller should treat the tenant as
+    disrupted (release and count) rather than keep an unservable forest.
+    """
+    instance = forest.instance
+    u, v = link
+    if instance.graph.has_edge(u, v):
+        raise DynamicError(f"({u!r}, {v!r}) is still a live link")
+    oracle = instance.oracle
+    bad = canonical_edge(u, v)
+
+    out = ServiceOverlayForest(instance=instance)
+    try:
+        for chain in forest.chains:
+            uses = any(
+                canonical_edge(a, b) == bad for a, b in chain.all_edges()
+            )
+            if not uses:
+                out.add_chain(chain.copy())
+                continue
+            anchors = sorted(
+                ((chain.walk[pos], vnf) for pos, vnf in chain.vnf_positions()),
+                key=lambda a: a[1],
+            )
+            walk: List[Node] = [chain.walk[0]]
+            placements: Dict[int, int] = {}
+            for node, vnf in anchors:
+                walk.extend(oracle.path(walk[-1], node)[1:])
+                placements[len(walk) - 1] = vnf
+            if chain.placements:
+                tail = chain.walk[max(chain.placements):]
+                if any(
+                    canonical_edge(a, b) == bad
+                    for a, b in zip(tail, tail[1:])
+                ):
+                    # The preserved-verbatim tail walks the dead link:
+                    # re-deliver to the destinations it passed, in order,
+                    # over surviving shortest paths.
+                    for stop in tail[1:]:
+                        if stop in instance.destinations and stop != walk[-1]:
+                            walk.extend(oracle.path(walk[-1], stop)[1:])
+                else:
+                    if walk[-1] != tail[0]:
+                        walk.extend(oracle.path(walk[-1], tail[0])[1:])
+                    walk.extend(tail[1:])
+            out.add_chain(DeployedChain(walk=walk, placements=placements))
+
+        out.tree_edges = {e for e in forest.tree_edges if e != bad}
+        if bad in forest.tree_edges:
+            out.prune_tree_edges()
+            from repro.core.validation import is_feasible
+
+            if not is_feasible(instance, out):
+                points: Set[Node] = set()
+                for chain in out.chains:
+                    if chain.placements:
+                        points.update(chain.walk[max(chain.placements):])
+                points |= {a for e in out.tree_edges for a in e}
+                for dest in instance.destinations:
+                    best_pt: Optional[Node] = None
+                    best_d = float("inf")
+                    for p in sorted(points, key=repr):
+                        d = oracle.distance(p, dest)
+                        if d < best_d:
+                            best_d, best_pt = d, p
+                    if best_pt is None:
+                        raise DynamicError(
+                            f"destination {dest!r} unreachable after "
+                            f"failure of {bad!r}"
+                        )
+                    path = oracle.path(best_pt, dest)
+                    for a, b in zip(path, path[1:]):
+                        out.add_tree_edge(a, b)
+        check_forest(instance, out)
+    except ValueError as exc:
+        # ``oracle.path`` (no surviving path) or a VNF conflict while
+        # re-adding chains: the forest cannot be repaired in place.
+        raise DynamicError(
+            f"cannot reroute around failed link {bad!r}: {exc}"
+        ) from exc
+    return out
+
+
 def relocate_overloaded_vm(
     forest: ServiceOverlayForest,
     vm: Node,

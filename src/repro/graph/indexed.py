@@ -58,11 +58,30 @@ group and reused by every member row's re-dijkstra (see
 :data:`PLANNER_SHARE_MIN_ROWS` / :data:`PLANNER_SHARE_DENSITY` for the
 engagement policy).  ``share_regions=False`` keeps the per-row region
 rediscovery, bit-identically, as the equivalence reference.
+
+Edge-*topology* patches (:meth:`FrozenOracle.patch_topology`) extend the
+same repair engine to link failure and recovery.  A removed edge is a
+*tombstone*: its CSR slots keep their positions (marked with an ``inf``
+weight, which no live edge can carry -- costs are validated finite) and
+node ids stay stable, so every cached row array stays addressable; the
+removal reaches cached rows as an increase-to-infinity, whose detached
+region repairs from its boundary and may legitimately end *unreachable*
+(``dist=inf``, parent cleared -- the one outcome a pure cost patch can
+never produce).  A reinserted edge un-tombstones its slots and reaches
+rows as a decrease-from-infinity through the existing decrease
+machinery.  In the contracted core a failed edge keeps its chain intact
+and poisons the chain's prefix sums and total to ``inf`` instead
+(infinite candidates never win a relaxation, and interior queries
+expand through per-side prefix walks), so no global recontraction ever
+runs.  ``topology_patch=False`` keeps invalidate-and-rebuild as the
+bit-identical equivalence reference, exactly as ``planner=`` /
+``share_regions=`` do for their layers.
 """
 
 from __future__ import annotations
 
 import heapq
+import math
 from typing import Dict, FrozenSet, Hashable, Iterable, List, Mapping, Optional, Tuple
 
 from repro.graph.graph import Graph, canonical_edge
@@ -190,8 +209,9 @@ class IndexedGraph:
         return node in self.index
 
     def num_edges(self) -> int:
-        """Number of undirected edges."""
-        return len(self.indices) // 2
+        """Number of *live* undirected edges (tombstones excluded)."""
+        dead = sum(1 for w in self.weights if w == INF)
+        return (len(self.indices) - dead) // 2
 
     def id_of(self, node: Node) -> int:
         """Int id of ``node``; raises ``KeyError`` if absent."""
@@ -224,11 +244,64 @@ class IndexedGraph:
                     raise KeyError(f"no edge between ids {u} and {v}")
             touched.add(u)
             touched.add(v)
+        self._rebuild_live_rows(touched)
+
+    def _rebuild_live_rows(self, touched: Iterable[int]) -> None:
+        """Refresh the pre-zipped rows of ``touched``, skipping tombstones."""
+        indptr, indices, weights = self.indptr, self.indices, self.weights
         for node in touched:
             self._rows[node] = tuple(
-                zip(weights[indptr[node]:indptr[node + 1]],
-                    indices[indptr[node]:indptr[node + 1]])
+                (w, nb)
+                for w, nb in zip(weights[indptr[node]:indptr[node + 1]],
+                                 indices[indptr[node]:indptr[node + 1]])
+                if w != INF
             )
+
+    def remove_edges(self, pairs: Iterable[Tuple[int, int]]) -> None:
+        """Tombstone edges in place: weight becomes ``inf``, slots persist.
+
+        The CSR slots keep their positions (so node ids and every cached
+        row array stay stable) but the pre-zipped Dijkstra rows of the
+        touched endpoints drop the dead entries entirely -- an absent edge
+        must cost the search nothing.  Raises ``KeyError`` for a missing
+        or already-removed edge.
+        """
+        indptr, indices, weights = self.indptr, self.indices, self.weights
+        touched = set()
+        for u, v in pairs:
+            for a, b in ((u, v), (v, u)):
+                for pos in range(indptr[a], indptr[a + 1]):
+                    if indices[pos] == b and weights[pos] != INF:
+                        weights[pos] = INF
+                        break
+                else:
+                    raise KeyError(f"no live edge between ids {u} and {v}")
+            touched.add(u)
+            touched.add(v)
+        self._rebuild_live_rows(touched)
+
+    def restore_edges(self, updates: Iterable[Tuple[int, int, float]]) -> None:
+        """Un-tombstone edges: write a finite cost back into dead slots.
+
+        The inverse of :meth:`remove_edges`; the edge must currently be
+        tombstoned (both CSR directions at ``inf``).  Raises ``KeyError``
+        when no tombstoned slot exists for a pair.
+        """
+        indptr, indices, weights = self.indptr, self.indices, self.weights
+        touched = set()
+        for u, v, cost in updates:
+            for a, b in ((u, v), (v, u)):
+                for pos in range(indptr[a], indptr[a + 1]):
+                    if indices[pos] == b and weights[pos] == INF:
+                        weights[pos] = cost
+                        break
+                else:
+                    raise KeyError(
+                        f"no tombstoned edge between ids {u} and {v}"
+                    )
+            touched.add(u)
+            touched.add(v)
+        self._rebuild_live_rows(touched)
 
     def clone(self) -> "IndexedGraph":
         """A patchable copy sharing the frozen topology arrays.
@@ -1380,6 +1453,7 @@ class FrozenOracle:
         patchable: bool = False,
         planner: bool = True,
         share_regions: bool = True,
+        topology_patch: bool = True,
     ) -> None:
         self._graph = graph
         self._hot: set = set(hot) if hot is not None else set()
@@ -1400,6 +1474,17 @@ class FrozenOracle:
         #: keeps the per-row region rediscovery as the equivalence
         #: reference.  Served results are bit-identical either way.
         self._share_regions = share_regions
+        #: ``topology_patch=True`` (the default) lets
+        #: :meth:`patch_topology` repair cached state through the CSR
+        #: tombstone machinery; ``topology_patch=False`` keeps
+        #: invalidate-and-rebuild as the equivalence reference.  Served
+        #: results are identical either way.
+        self._topology_patch = topology_patch
+        #: Canonical node pairs currently tombstoned in the built cores.
+        #: A removed edge's CSR slots persist at weight ``inf``, so an
+        #: edge may only be (re)inserted while its slots still exist --
+        #: i.e. while its pair is recorded here.
+        self._tombstones: set = set()
         self._core: Optional[IndexedGraph] = None
         self._contracted: Optional[_ContractedCore] = None
         self._built = False
@@ -1517,6 +1602,7 @@ class FrozenOracle:
         self._core = None
         self._contracted = None
         self._built = False
+        self._tombstones.clear()
         self._hot_ids = []
         self._rows.clear()
         self._tree_index = None
@@ -1562,9 +1648,17 @@ class FrozenOracle:
         for (u, v), cost in changed.items():
             merged[canonical_edge(u, v)] = (u, v, float(cost))
         # Validate the whole batch before writing anything: a missing edge
-        # must not leave the graph half-mutated with the oracle unpatched.
+        # or an invalid cost must not leave the graph half-mutated with
+        # the oracle unpatched.  ``not (cost >= 0.0)`` catches NaN too --
+        # every comparison against NaN is False, so it would otherwise
+        # slip through the ``cost != old`` gate and poison CSR weights.
         applied: List[Tuple[Node, Node, float, float]] = []
         for u, v, cost in merged.values():
+            if not (cost >= 0.0) or math.isinf(cost):
+                raise ValueError(
+                    f"edge cost must be finite and non-negative, got "
+                    f"{cost!r} for edge ({u!r}, {v!r})"
+                )
             old = graph.cost(u, v)
             if cost != old:
                 applied.append((u, v, old, cost))
@@ -1604,10 +1698,164 @@ class FrozenOracle:
             self._patch_rows(self._core._rows, id_changes)
         return len(applied)
 
+    # ------------------------------------------------------------------
+    # incremental edge-topology patching (link failure / recovery)
+    # ------------------------------------------------------------------
+    def insertable(self, u: Node, v: Node) -> bool:
+        """Can ``patch_topology(inserted={(u, v): ...})`` apply in place?
+
+        True while the oracle is unbuilt (the build reads the mutated
+        graph) or in ``topology_patch=False`` reference mode (inserts
+        invalidate anyway), and otherwise only when the edge holds a
+        tombstoned CSR slot from an earlier removal -- the frozen core
+        cannot grow slots for brand-new edges, so reviving an edge that
+        died *before* the first build needs an :meth:`invalidate`.
+        """
+        if not self._built or not self._topology_patch:
+            return True
+        return canonical_edge(u, v) in self._tombstones
+
+    def patch_topology(
+        self,
+        removed: Iterable[Tuple[Node, Node]] = (),
+        inserted: Optional[Mapping[Tuple[Node, Node], float]] = None,
+    ) -> int:
+        """Remove and/or (re)insert edges without a full rebuild.
+
+        ``removed`` names existing edges to delete; ``inserted`` maps
+        ``(u, v)`` pairs to the cost of edges to (re)insert.  Both are
+        canonicalised and deduplicated first (last write wins for
+        ``inserted``, exactly as :meth:`patch_edge_costs`); a pair in
+        both collections is rejected.  The whole batch is validated
+        before anything mutates -- a bad entry leaves graph and oracle
+        untouched.
+
+        With ``topology_patch=True`` (the default) the built cores are
+        edited through a *tombstone mask*: a removed edge's CSR slots
+        persist at weight ``inf`` (node ids and row arrays stay stable)
+        while the search-facing adjacency drops the entry, so cached rows
+        repair through the ordinary increase machinery -- the detached
+        region reconnects through surviving edges or legitimately ends
+        *unreachable* (``dist=inf``, parent cleared).  Reinsertion is a
+        decrease-from-infinity over the same slots, and therefore -- on a
+        built oracle -- requires the pair to be a previously removed
+        (tombstoned) edge: the frozen CSR cannot grow new slots.  In the
+        contracted core a failed chain edge poisons its chain's prefix
+        sums and kept candidate to ``inf`` locally; no global
+        recontraction runs.  Removal-driven region repairs bypass the
+        planner's degree-1 leaf fast path (an endpoint's *surviving*
+        degree says nothing about the dead edge), always taking the
+        general boundary re-seeding.
+
+        With ``topology_patch=False`` the graph is mutated and every
+        cache dropped (:meth:`invalidate`) -- the bit-identical
+        equivalence reference, exactly as ``planner=`` /
+        ``share_regions=`` gate their layers.
+
+        Returns the number of applied topology changes.
+        """
+        graph = self._graph
+        # (``insertable`` answers whether an insert can apply without a
+        # rebuild -- callers that may revive edges removed before the
+        # first build should check it and fall back to invalidate.)
+        dead: Dict[Tuple[Node, Node], Tuple[Node, Node]] = {}
+        for u, v in removed:
+            dead.setdefault(canonical_edge(u, v), (u, v))
+        born: Dict[Tuple[Node, Node], Tuple[Node, Node, float]] = {}
+        if inserted:
+            for (u, v), cost in inserted.items():
+                born[canonical_edge(u, v)] = (u, v, float(cost))
+        overlap = dead.keys() & born.keys()
+        if overlap:
+            raise ValueError(
+                f"edges named as both removed and inserted: {sorted(overlap, key=repr)!r}"
+            )
+        # Validate the whole batch before writing anything.
+        removals: List[Tuple[Node, Node, float]] = []
+        for key, (u, v) in dead.items():
+            removals.append((u, v, graph.cost(u, v)))  # KeyError if absent
+        patch_live = self._built and self._topology_patch
+        for key, (u, v, cost) in born.items():
+            if not (cost >= 0.0) or math.isinf(cost):
+                raise ValueError(
+                    f"edge cost must be finite and non-negative, got "
+                    f"{cost!r} for edge ({u!r}, {v!r})"
+                )
+            if graph.has_edge(u, v):
+                raise ValueError(
+                    f"({u!r}, {v!r}) is already an edge; use "
+                    f"patch_edge_costs for cost changes"
+                )
+            if patch_live and key not in self._tombstones:
+                raise ValueError(
+                    f"({u!r}, {v!r}) was never removed from this oracle: "
+                    f"the frozen CSR core cannot grow new edge slots "
+                    f"(invalidate() to rebuild over new topology)"
+                )
+        if not removals and not born:
+            return 0
+        for u, v, _ in removals:
+            graph.remove_edge(u, v)
+        for u, v, cost in born.values():
+            graph.add_edge(u, v, cost)
+        count = len(removals) + len(born)
+        if not self._built:
+            # The eventual ``_build`` reads the mutated graph directly.
+            return count
+        if not self._topology_patch:
+            self.invalidate()
+            return count
+        for key in dead:
+            self._tombstones.add(key)
+        for key in born:
+            self._tombstones.discard(key)
+        self._slow_rows.clear()
+        self._paths.clear()
+        self._queries.clear()
+        if self._contracted is not None:
+            pair_updates = self._contracted.patch_edges(
+                [(u, v, INF) for u, v, _ in removals]
+                + [(u, v, cost) for u, v, cost in born.values()]
+            )
+            plan = _PatchPlan(self._contracted.rows, pair_updates)
+            # Force the general region repair: the leaf classification
+            # reads *surviving* degrees, which misattribute a removed
+            # pair's repair to the wrong (still-live) edge.
+            plan._classified = [(a, b, -1) for a, b in plan.increases]
+            self._patch_rows(self._contracted.rows, pair_updates, plan=plan)
+            if self._core is not None:
+                index = self._core.index
+                self._core.remove_edges(
+                    (index[u], index[v]) for u, v, _ in removals
+                )
+                self._core.restore_edges(
+                    (index[u], index[v], cost)
+                    for u, v, cost in born.values()
+                )
+        else:
+            index = self._core.index
+            self._core.remove_edges(
+                (index[u], index[v]) for u, v, _ in removals
+            )
+            self._core.restore_edges(
+                (index[u], index[v], cost) for u, v, cost in born.values()
+            )
+            id_changes = [
+                (index[u], index[v], old, INF) for u, v, old in removals
+            ] + [
+                (index[u], index[v], INF, cost)
+                for u, v, cost in born.values()
+            ]
+            plan = _PatchPlan(self._core._rows, id_changes)
+            plan._classified = [(a, b, -1) for a, b in plan.increases]
+            self._patch_rows(self._core._rows, id_changes, plan=plan)
+        return count
+
     def _patch_rows(
         self,
         adjacency: List[Tuple[Tuple[float, int], ...]],
         changes: Iterable[Tuple[int, int, float, float]],
+        plan: Optional[_PatchPlan] = None,
     ) -> None:
         """Repair (or evict) every cached row after a weight-change batch.
 
@@ -1638,7 +1886,8 @@ class FrozenOracle:
         :func:`_repair_row_shared`, bit-identically to the per-row
         planned path.
         """
-        plan = _PatchPlan(adjacency, changes)
+        if plan is None:
+            plan = _PatchPlan(adjacency, changes)
         increases = plan.increases
         decreases = plan.decreases
         if not increases and not decreases:
@@ -1887,9 +2136,11 @@ class FrozenOracle:
         clone = FrozenOracle(
             graph, hot=self._hot, patchable=self._patchable,
             planner=self._planner, share_regions=self._share_regions,
+            topology_patch=self._topology_patch,
         )
         if self._built:
             clone._built = True
+            clone._tombstones = set(self._tombstones)
             clone._hot_ids = list(self._hot_ids)
             if self._core is not None:
                 clone._core = self._core.clone()
@@ -2172,8 +2423,30 @@ class FrozenOracle:
             }
             # Expand the chain interiors: an interior is reached through
             # whichever chain endpoint is closer along the chain.
-            for a, b, interiors, prefix, total in contracted.chains:
+            for ci, (a, b, interiors, prefix, total) in enumerate(
+                contracted.chains
+            ):
                 da, db = dist[a], dist[b]
+                if total == INF:
+                    # A tombstoned (failed) edge sits on this chain:
+                    # ``total - pref`` would be ``inf - inf = nan`` for
+                    # interiors beyond it, silently dropping nodes still
+                    # reachable from the ``b`` side.  Walk explicit
+                    # suffix sums instead; ``inf`` weights propagate so
+                    # each side sees exactly its reachable stretch.
+                    weights = contracted.chain_weights[ci]
+                    acc = 0.0
+                    suffix = [0.0] * len(interiors)
+                    for i in range(len(interiors) - 1, -1, -1):
+                        acc += weights[i + 1]
+                        suffix[i] = acc
+                    for node, pref, suf in zip(interiors, prefix, suffix):
+                        d = min(da + pref, db + suf)
+                        if d != INF:
+                            known = out.get(node)
+                            if known is None or d < known:
+                                out[node] = d
+                    continue
                 for node, pref in zip(interiors, prefix):
                     d = min(da + pref, db + (total - pref))
                     if d != INF:

@@ -13,6 +13,7 @@ from repro.online.rerouting import (
     reroute_forest_around_congestion,
 )
 from repro.online.simulator import (
+    FailureImpact,
     Lease,
     OnlineResult,
     OnlineSimulator,
@@ -22,6 +23,7 @@ from repro.online.simulator import (
 __all__ = [
     "Request",
     "RequestGenerator",
+    "FailureImpact",
     "Lease",
     "OnlineResult",
     "OnlineSimulator",

@@ -54,6 +54,30 @@ class Lease:
     link_loads: Tuple[Tuple[Edge, float], ...]
     node_loads: Tuple[Tuple[Node, float], ...]
     released: bool = False
+    #: The committed request and its embedded forest, kept so link
+    #: failures can identify and reroute the tenants crossing a dead
+    #: link (:meth:`OnlineSimulator.fail_link`).
+    request: Optional[Request] = None
+    forest: Optional[ServiceOverlayForest] = None
+
+
+@dataclass(frozen=True)
+class FailureImpact:
+    """What one :meth:`OnlineSimulator.fail_link` did to active tenants.
+
+    ``rerouted`` and ``disrupted`` hold the request indices of the
+    crossing leases that were moved onto surviving paths versus released
+    (the tenant dropped); ``crossing = len(rerouted) + len(disrupted)``.
+    """
+
+    link: Edge
+    rerouted: Tuple[int, ...] = ()
+    disrupted: Tuple[int, ...] = ()
+
+    @property
+    def crossing(self) -> int:
+        """Number of active leases whose forests used the dead link."""
+        return len(self.rerouted) + len(self.disrupted)
 
 
 @dataclass
@@ -84,6 +108,7 @@ class OnlineSimulator:
         incremental: bool = True,
         planner: bool = True,
         share_regions: bool = True,
+        topology_patch: bool = True,
     ) -> None:
         self._network = network
         self._tracker = LoadTracker(
@@ -99,9 +124,17 @@ class OnlineSimulator:
         # ``share_regions=False`` keeps the planned path but repairs
         # dense patches without cross-row region sharing (the
         # shared-vs-unshared benchmark and equivalence reference).
+        # ``topology_patch=False`` keeps incremental cost patching but
+        # routes link failure/recovery through invalidate-and-rebuild
+        # (the topology-change equivalence reference).
         self._incremental = incremental
         self._planner = planner
         self._share_regions = share_regions
+        self._topology_patch = topology_patch
+        #: Canonical keys of currently failed links.
+        self._failed: set = set()
+        #: Live leases by identity, for failure-impact scans.
+        self._active: Dict[int, Lease] = {}
 
         # Build the working graph once: access topology + fixed VM pool.
         graph = network.graph.copy()
@@ -124,6 +157,7 @@ class OnlineSimulator:
         self._oracle = FrozenOracle(
             graph, hot=self._vms, patchable=self._incremental,
             planner=self._planner, share_regions=self._share_regions,
+            topology_patch=self._topology_patch,
         )
 
     @property
@@ -149,6 +183,11 @@ class OnlineSimulator:
         """
         changed = {}
         for u, v in self._tracker.drain_dirty_links():
+            if canonical_edge(u, v) in self._failed:
+                # A dead link has no cost to sync; its tracker load still
+                # updates (crossing leases release through it) and is
+                # folded back in at recovery repricing.
+                continue
             cost = max(self._tracker.link_cost(u, v), self._cost_floor)
             if self._graph.cost(u, v) != cost:
                 changed[(u, v)] = cost
@@ -218,14 +257,41 @@ class OnlineSimulator:
         the tenant's departure can hand the same loads back through
         :meth:`release`.
         """
-        num_functions = len(request.chain)
+        link_totals = self._charge_links(
+            forest, request.demand_mbps, len(request.chain)
+        )
+        node_totals: Dict[Node, float] = {}
+        for vm in forest.enabled:
+            self._tracker.add_node_load(vm, 1.0)
+            node_totals[vm] = node_totals.get(vm, 0.0) + 1.0
+        lease = Lease(
+            request_index=request.index,
+            link_loads=tuple(link_totals.items()),
+            node_loads=tuple(node_totals.items()),
+            request=request,
+            forest=forest,
+        )
+        self._active[id(lease)] = lease
+        return lease
+
+    def _charge_links(
+        self,
+        forest: ServiceOverlayForest,
+        demand_mbps: float,
+        num_functions: int,
+    ) -> Dict[Edge, float]:
+        """Account ``forest``'s bandwidth on the tracker (per-stage dedup).
+
+        Returns the per-canonical-edge totals charged -- exactly the
+        amounts a lease must hand back on release.
+        """
         seen = set()
         link_totals: Dict[Edge, float] = {}
 
         def charge(u: Node, v: Node) -> None:
-            self._tracker.add_link_load(u, v, request.demand_mbps)
+            self._tracker.add_link_load(u, v, demand_mbps)
             key = canonical_edge(u, v)
-            link_totals[key] = link_totals.get(key, 0.0) + request.demand_mbps
+            link_totals[key] = link_totals.get(key, 0.0) + demand_mbps
 
         for chain in forest.chains:
             stage = 0
@@ -241,15 +307,7 @@ class OnlineSimulator:
             if (num_functions, u, v) in seen or (num_functions, v, u) in seen:
                 continue
             charge(u, v)
-        node_totals: Dict[Node, float] = {}
-        for vm in forest.enabled:
-            self._tracker.add_node_load(vm, 1.0)
-            node_totals[vm] = node_totals.get(vm, 0.0) + 1.0
-        return Lease(
-            request_index=request.index,
-            link_loads=tuple(link_totals.items()),
-            node_loads=tuple(node_totals.items()),
-        )
+        return link_totals
 
     def release(self, lease: Lease) -> None:
         """Reverse a committed lease (the tenant departs).
@@ -259,7 +317,13 @@ class OnlineSimulator:
         :meth:`LoadTracker.release_node_load` (over-release raises,
         residue clamps at zero, released links are marked dirty).  The
         next cost sync then re-prices the freed links downward -- a
-        decrease-carrying oracle patch.  A lease can be released once.
+        decrease-carrying oracle patch.
+
+        Release is single-shot by contract: a double release would hand
+        the same loads back twice and corrupt the tracker, so it raises
+        a ``ValueError`` naming the lease instead.  Callers replaying
+        departure events against leases that a link failure may already
+        have disrupted should check :attr:`Lease.released` first.
         """
         if lease.released:
             raise ValueError(
@@ -270,6 +334,118 @@ class OnlineSimulator:
         for node, demand in lease.node_loads:
             self._tracker.release_node_load(node, demand)
         lease.released = True
+        self._active.pop(id(lease), None)
+
+    # ------------------------------------------------------------------
+    # link failure / recovery
+    # ------------------------------------------------------------------
+    def fail_link(self, u: Node, v: Node) -> FailureImpact:
+        """Kill a live link and degrade gracefully.
+
+        The topology change reaches the shared oracle as a
+        :meth:`~repro.graph.indexed.FrozenOracle.patch_topology` removal
+        (``incremental=True``) or a graph mutation plus full invalidate
+        (``incremental=False``) -- identical served state either way.
+        Every active lease whose forest crossed the dead link is then
+        handled in ``request_index`` order: the simulator attempts
+        :func:`~repro.core.dynamic.reroute_failed_link` mass recovery
+        onto surviving paths (re-accounting the lease's bandwidth on the
+        new links), and releases-and-counts-as-disrupted any tenant that
+        cannot be rerouted.  All reroutes see failure-time prices: costs
+        are synced once before the link dies, not between reroutes.
+
+        Returns the :class:`FailureImpact`; raises ``ValueError`` if the
+        link does not exist or already failed.
+        """
+        from repro.core.dynamic import DynamicError, reroute_failed_link
+        from repro.core.validation import ForestInfeasible
+
+        key = canonical_edge(u, v)
+        if key in self._failed:
+            raise ValueError(f"link {key!r} already failed")
+        if not self._graph.has_edge(u, v):
+            raise ValueError(f"({u!r}, {v!r}) is not a live link")
+        # The VM pool is the online mode's standing working set (every
+        # request's Procedure-1 sweep reads all of it): touch it before
+        # patching, exactly as ``apply_background_load`` does, so the
+        # repair keeps the pool rows instead of evicting them as idle.
+        self._oracle.warm(self._vms)
+        self._sync_costs()
+        if self._incremental:
+            self._oracle.patch_topology(removed=[(u, v)])
+        else:
+            self._graph.remove_edge(u, v)
+            self._oracle.invalidate()
+        self._failed.add(key)
+
+        crossing = sorted(
+            (
+                lease for lease in self._active.values()
+                if lease.forest is not None
+                and any(edge == key for edge, _ in lease.link_loads)
+            ),
+            key=lambda lease: lease.request_index,
+        )
+        rerouted: List[int] = []
+        disrupted: List[int] = []
+        for lease in crossing:
+            try:
+                new_forest = reroute_failed_link(lease.forest, (u, v))
+            except (DynamicError, ForestInfeasible):
+                self.release(lease)
+                disrupted.append(lease.request_index)
+            else:
+                self._recommit(lease, new_forest)
+                rerouted.append(lease.request_index)
+        return FailureImpact(
+            link=key, rerouted=tuple(rerouted), disrupted=tuple(disrupted)
+        )
+
+    def _recommit(self, lease: Lease, forest: ServiceOverlayForest) -> None:
+        """Swap a live lease's forest after a reroute.
+
+        Link loads are released and recharged from the new walks; node
+        loads stay -- rerouting preserves every VNF placement, only the
+        connecting paths move.
+        """
+        for (a, b), demand in lease.link_loads:
+            self._tracker.release_link_load(a, b, demand)
+        link_totals = self._charge_links(
+            forest, lease.request.demand_mbps, len(lease.request.chain)
+        )
+        lease.link_loads = tuple(link_totals.items())
+        lease.forest = forest
+
+    def recover_link(self, u: Node, v: Node) -> None:
+        """Bring a failed link back at its load-derived cost.
+
+        The reinsertion reaches the oracle as a decrease-from-infinity
+        (:meth:`~repro.graph.indexed.FrozenOracle.patch_topology` with
+        ``inserted=``) or a graph mutation plus invalidate, matching the
+        failure path's mode split.  The revived cost is re-derived from
+        the tracker's current load on the link (crossing tenants moved
+        away or dropped at failure time, so this is usually the floor
+        plus any background load).  Raises ``ValueError`` if the link is
+        not currently failed.
+
+        A link that died *before* the oracle's first build has no
+        tombstoned CSR slot to revive (:meth:`FrozenOracle.insertable`),
+        so that rare case falls back to invalidate-and-rebuild.
+        """
+        key = canonical_edge(u, v)
+        if key not in self._failed:
+            raise ValueError(f"link {key!r} is not a failed link")
+        # Keep the VM-pool working set alive through the reinsert patch
+        # (see :meth:`fail_link`).
+        self._oracle.warm(self._vms)
+        self._sync_costs()
+        cost = max(self._tracker.link_cost(u, v), self._cost_floor)
+        if self._incremental and self._oracle.insertable(u, v):
+            self._oracle.patch_topology(inserted={(u, v): cost})
+        else:
+            self._graph.add_edge(u, v, cost)
+            self._oracle.invalidate()
+        self._failed.discard(key)
 
     def embed_leased(
         self, request: Request, embedder: Embedder

@@ -4,7 +4,9 @@ The paper's online evaluation (Section VIII-A, Fig. 12) replays a flat
 request *list*; this package upgrades that to full tenant lifecycles:
 
 - :mod:`~repro.workload.processes` -- seeded Poisson / diurnal /
-  flash-crowd arrival processes yielding timestamped requests.
+  flash-crowd arrival processes yielding timestamped requests, plus the
+  MTBF/MTTR :class:`LinkFailureProcess` emitting fail/recover link
+  events.
 - :mod:`~repro.workload.lifecycle` -- the :class:`WorkloadEngine` event
   loop interleaving arrivals, holding-time departures (released leases
   flow back to the oracle as decrease patches), and background-load
@@ -27,6 +29,8 @@ from repro.workload.processes import (
     ArrivalProcess,
     DiurnalArrivals,
     FlashCrowdArrivals,
+    LinkEvent,
+    LinkFailureProcess,
     PoissonArrivals,
 )
 from repro.workload.trace import (
@@ -47,6 +51,8 @@ __all__ = [
     "ExponentialHolding",
     "FixedHolding",
     "FlashCrowdArrivals",
+    "LinkEvent",
+    "LinkFailureProcess",
     "PoissonArrivals",
     "WorkloadEngine",
     "WorkloadEvent",

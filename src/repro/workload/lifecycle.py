@@ -36,9 +36,11 @@ from repro.workload.processes import ArrivalProcess
 
 Embedder = Callable[[SOFInstance], ServiceOverlayForest]
 
-#: Same-time tie-break: departures free capacity first, background ticks
-#: re-price next, and arrivals see the settled state last.
-_PRIORITY = {"depart": 0, "background": 1, "arrive": 2}
+#: Same-time tie-break: departures free capacity first, recoveries bring
+#: links back before new failures hit (a same-instant recover+fail of one
+#: link is a flap, not a double-fail), background ticks re-price next,
+#: and arrivals see the settled state last.
+_PRIORITY = {"depart": 0, "recover": 1, "fail": 2, "background": 3, "arrive": 4}
 
 
 # ----------------------------------------------------------------------
@@ -83,9 +85,12 @@ class WorkloadEvent:
     """One embedder-independent schedule entry.
 
     ``kind`` is ``"arrive"`` (carries ``request`` and the pre-drawn
-    ``hold``; ``hold=None`` or ``inf`` means the tenant never departs) or
+    ``hold``; ``hold=None`` or ``inf`` means the tenant never departs),
     ``"background"`` (carries ``links`` and ``demand_mbps`` for an
-    :meth:`OnlineSimulator.apply_background_load` tick).
+    :meth:`OnlineSimulator.apply_background_load` tick), or ``"fail"`` /
+    ``"recover"`` (carry ``link``, the physical link that dies or comes
+    back -- :meth:`OnlineSimulator.fail_link` /
+    :meth:`OnlineSimulator.recover_link`).
     """
 
     time: float
@@ -94,6 +99,7 @@ class WorkloadEvent:
     hold: Optional[float] = None
     links: Tuple[Tuple[object, object], ...] = ()
     demand_mbps: float = 0.0
+    link: Optional[Tuple[object, object]] = None
 
 
 @dataclass(frozen=True)
@@ -132,12 +138,18 @@ def build_schedule(
     horizon: float,
     holding,
     background: Optional[BackgroundChurn] = None,
+    failures=None,
 ) -> List[WorkloadEvent]:
     """Materialise one embedder-independent schedule up to ``horizon``.
 
     Holding times are drawn from ``holding`` (an object with ``draw()``,
     or ``None`` for tenants that never depart) at build time, one per
     arrival, so the schedule is a pure function of its seeds.
+    ``failures`` (a :class:`~repro.workload.processes.LinkFailureProcess`,
+    or any object with ``events(horizon)`` yielding timestamped
+    fail/recover link events) interleaves link failures and recoveries
+    with the churn; recoveries scheduled past the horizon are kept so no
+    trace ends with a permanently dead link.
     """
     events = [
         WorkloadEvent(
@@ -148,6 +160,11 @@ def build_schedule(
     ]
     if background is not None:
         events.extend(background.events(horizon))
+    if failures is not None:
+        events.extend(
+            WorkloadEvent(time=e.time, kind=e.kind, link=tuple(e.link))
+            for e in failures.events(horizon)
+        )
     events.sort(key=lambda e: (e.time, _PRIORITY[e.kind]))
     return events
 
@@ -170,12 +187,34 @@ class ChurnResult:
     departures: int = 0
     peak_active: int = 0
     final_active: int = 0
+    #: Availability accounting (link-failure events).  ``rerouted`` and
+    #: ``disrupted`` count lease outcomes across all failures: a tenant
+    #: moved to surviving paths versus released mid-lease.
+    failures: int = 0
+    recoveries: int = 0
+    rerouted: int = 0
+    disrupted: int = 0
+    #: Per-recovery downtime (recover time minus fail time), in trace
+    #: time units, in recovery order.
+    recovery_latencies: List[float] = field(default_factory=list)
 
     @property
     def acceptance_rate(self) -> float:
         """Accepted arrivals over all arrivals (1.0 on an empty run)."""
         total = self.accepted + self.rejected
         return self.accepted / total if total else 1.0
+
+    @property
+    def disruption_rate(self) -> float:
+        """Disrupted tenants over all accepted tenants (0.0 on empty)."""
+        return self.disrupted / self.accepted if self.accepted else 0.0
+
+    @property
+    def mean_recovery_latency(self) -> float:
+        """Mean link downtime per recovery (0.0 with no recoveries)."""
+        if not self.recovery_latencies:
+            return 0.0
+        return sum(self.recovery_latencies) / len(self.recovery_latencies)
 
     @property
     def total_cost(self) -> float:
@@ -193,6 +232,14 @@ class WorkloadEngine:
     schedule and embedder.  Departures release the arrival's
     :class:`~repro.online.simulator.Lease`, which flows back to the
     oracle as a decrease patch at the next cost sync.
+
+    ``fail`` / ``recover`` schedule entries call
+    :meth:`OnlineSimulator.fail_link` / :meth:`recover_link` and fold the
+    returned :class:`~repro.online.simulator.FailureImpact` into the
+    availability counters (``rerouted``, ``disrupted``,
+    ``recovery_latencies``).  A tenant disrupted by a failure is released
+    at failure time; its scheduled departure becomes a no-op (the engine
+    checks :attr:`Lease.released` before releasing again).
     """
 
     def __init__(
@@ -215,12 +262,31 @@ class WorkloadEngine:
             )
             sequence += 1
         active = 0
+        fail_times: dict = {}
         while heap:
             time, _, _, event, lease = heapq.heappop(heap)
             if event.kind == "depart":
+                if lease.released:
+                    # A link failure already disrupted this tenant; its
+                    # loads went back at release time, so the scheduled
+                    # departure is a no-op.
+                    continue
                 self._simulator.release(lease)
                 result.departures += 1
                 active -= 1
+            elif event.kind == "fail":
+                impact = self._simulator.fail_link(*event.link)
+                result.failures += 1
+                result.rerouted += len(impact.rerouted)
+                result.disrupted += len(impact.disrupted)
+                active -= len(impact.disrupted)
+                fail_times[tuple(event.link)] = time
+            elif event.kind == "recover":
+                self._simulator.recover_link(*event.link)
+                result.recoveries += 1
+                failed_at = fail_times.pop(tuple(event.link), None)
+                if failed_at is not None:
+                    result.recovery_latencies.append(time - failed_at)
             elif event.kind == "background":
                 self._simulator.apply_background_load(
                     event.links, event.demand_mbps

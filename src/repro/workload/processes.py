@@ -19,6 +19,11 @@ the paper's per-topology request mix intact):
 Arrival *times* and request *contents* come from independent seeded
 streams, so two processes over the same generator seed draw identical
 request sequences even when their timestamps differ.
+
+:class:`LinkFailureProcess` is the availability-side counterpart: a
+seeded MTBF/MTTR alternating renewal process emitting ``fail`` /
+``recover`` :class:`LinkEvent`\\ s over a fixed link set, feeding the
+workload engine's link-failure events.
 """
 
 from __future__ import annotations
@@ -26,7 +31,7 @@ from __future__ import annotations
 import math
 import random
 from dataclasses import dataclass
-from typing import Iterator, List
+from typing import Iterator, List, Sequence, Tuple
 
 from repro.online.requests import Request, RequestGenerator
 
@@ -37,6 +42,15 @@ class Arrival:
 
     time: float
     request: Request
+
+
+@dataclass(frozen=True)
+class LinkEvent:
+    """One timestamped link transition (``kind`` is ``fail``/``recover``)."""
+
+    time: float
+    kind: str
+    link: Tuple[object, object]
 
 
 class ArrivalProcess:
@@ -178,3 +192,59 @@ class FlashCrowdArrivals(ArrivalProcess):
     @property
     def peak_rate(self) -> float:
         return self._base * self._factor
+
+
+class LinkFailureProcess:
+    """Seeded MTBF/MTTR renewal process over a fixed set of links.
+
+    Each link alternates exponentially-distributed up-times (mean
+    ``mtbf``) and down-times (mean ``mttr``), the classic alternating
+    renewal availability model.  All draws come from one
+    ``random.Random(seed)`` consumed link-by-link in the order the links
+    were given -- the same Lewis--Shedler-style seeding discipline as the
+    arrival processes, so the failure timeline is a pure function of
+    ``(links, mtbf, mttr, seed)`` and replays identically against every
+    embedder and simulator configuration.
+
+    ``events(horizon)`` emits a ``fail`` event for every failure that
+    starts within the horizon and *always* emits its matching
+    ``recover`` event, even past the horizon: a failure must never leak
+    a permanently dead link into a finite trace.
+    """
+
+    def __init__(
+        self,
+        links: Sequence[Tuple[object, object]],
+        mtbf: float,
+        mttr: float,
+        seed: int = 0,
+    ) -> None:
+        if mtbf <= 0:
+            raise ValueError(f"mtbf must be positive, got {mtbf!r}")
+        if mttr <= 0:
+            raise ValueError(f"mttr must be positive, got {mttr!r}")
+        if not links:
+            raise ValueError("links must contain at least one link")
+        self._links = [tuple(link) for link in links]
+        self._mtbf = mtbf
+        self._mttr = mttr
+        self._seed = seed
+
+    def events(self, horizon: float) -> List[LinkEvent]:
+        """Materialise the fail/recover timeline up to ``horizon``."""
+        if horizon <= 0:
+            raise ValueError(f"horizon must be positive, got {horizon!r}")
+        rng = random.Random(self._seed)
+        out: List[LinkEvent] = []
+        for link in self._links:
+            t = 0.0
+            while True:
+                t += rng.expovariate(1.0 / self._mtbf)
+                if t > horizon:
+                    break
+                down = rng.expovariate(1.0 / self._mttr)
+                out.append(LinkEvent(time=t, kind="fail", link=link))
+                out.append(LinkEvent(time=t + down, kind="recover", link=link))
+                t += down
+        out.sort(key=lambda e: (e.time, e.kind, repr(e.link)))
+        return out

@@ -10,11 +10,17 @@ seeds.  Replaying a recorded schedule through the same engine and
 embedder yields identical per-request costs and acceptance decisions.
 
 Format: one JSON object per line.  The first line is a header
-(``{"record": "sof-workload-trace", "version": 1}``); every other line is
+(``{"record": "sof-workload-trace", "version": 2}``); every other line is
 one :class:`~repro.workload.lifecycle.WorkloadEvent`.  Nodes may be ints,
 strings, or (nested) tuples -- tuples are encoded as JSON arrays, which
 is unambiguous because lists are unhashable and can never be graph
 nodes.
+
+Version history: version 1 traces are churn-only (``arrive`` /
+``background``); version 2 adds ``fail`` / ``recover`` link events (each
+carrying a ``link`` pair).  Readers accept both; :func:`dump_trace`
+writes the oldest version that can represent the events, so churn-only
+traces remain version 1 and replay under old readers.
 """
 
 from __future__ import annotations
@@ -29,7 +35,9 @@ from repro.online.requests import Request
 from repro.workload.lifecycle import WorkloadEvent
 
 TRACE_RECORD = "sof-workload-trace"
-TRACE_VERSION = 1
+TRACE_VERSION = 2
+#: Versions this reader can replay (1 = churn-only, 2 = + fail/recover).
+SUPPORTED_TRACE_VERSIONS = (1, 2)
 
 
 def _encode_node(node):
@@ -68,10 +76,13 @@ def _encode_event(event: WorkloadEvent) -> dict:
             [_encode_node(u), _encode_node(v)] for u, v in event.links
         ]
         record["demand_mbps"] = event.demand_mbps
+    elif event.kind in ("fail", "recover"):
+        u, v = event.link
+        record["link"] = [_encode_node(u), _encode_node(v)]
     else:
         raise ValueError(
-            f"only schedule events (arrive/background) are recordable, "
-            f"got kind {event.kind!r}"
+            f"only schedule events (arrive/background/fail/recover) are "
+            f"recordable, got kind {event.kind!r}"
         )
     return record
 
@@ -101,6 +112,12 @@ def _decode_event(record: dict) -> WorkloadEvent:
             time=record["time"], kind="background", links=links,
             demand_mbps=record["demand_mbps"],
         )
+    if kind in ("fail", "recover"):
+        u, v = record["link"]
+        return WorkloadEvent(
+            time=record["time"], kind=kind,
+            link=(_decode_node(u), _decode_node(v)),
+        )
     raise ValueError(f"unknown event kind {kind!r} in trace")
 
 
@@ -113,12 +130,21 @@ def dump_trace(
     header (e.g. the topology name and seed the trace was generated
     against), so a replay can detect -- or reconstruct -- the
     environment the events assume.
+
+    The header carries the oldest version that can represent the
+    events: churn-only traces stay version 1 (replayable by pre-failure
+    readers); any ``fail``/``recover`` event promotes the trace to
+    version 2.
     """
-    header = {"record": TRACE_RECORD, "version": TRACE_VERSION}
+    materialised = list(events)
+    version = 2 if any(
+        e.kind in ("fail", "recover") for e in materialised
+    ) else 1
+    header = {"record": TRACE_RECORD, "version": version}
     if meta:
         header["meta"] = meta
     yield json.dumps(header, sort_keys=True)
-    for event in events:
+    for event in materialised:
         yield json.dumps(_encode_event(event), sort_keys=True)
 
 
@@ -126,10 +152,10 @@ def _parse_header(line: str) -> dict:
     header = json.loads(line)
     if not isinstance(header, dict) or header.get("record") != TRACE_RECORD:
         raise ValueError(f"not a workload trace: header {header!r}")
-    if header.get("version") != TRACE_VERSION:
+    if header.get("version") not in SUPPORTED_TRACE_VERSIONS:
         raise ValueError(
             f"unsupported trace version {header.get('version')!r} "
-            f"(expected {TRACE_VERSION})"
+            f"(supported: {SUPPORTED_TRACE_VERSIONS})"
         )
     return header
 
