@@ -12,7 +12,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, FrozenSet, Hashable, Iterable, Optional, Tuple
 
-from repro.graph import FrozenOracle, Graph
+from repro.graph import FrozenOracle, Graph, kernel
 
 Node = Hashable
 
@@ -174,8 +174,8 @@ class SOFInstance:
         """
         row = self._source_vm_rows.get(source)
         if row is None:
-            distance = self.oracle.distance
-            row = {v: distance(source, v) for v in self.sorted_vms()}
+            vms = self.sorted_vms()
+            row = dict(zip(vms, self.oracle.distances_to(source, vms)))
             self._source_vm_rows[source] = row
         return row
 
@@ -194,16 +194,37 @@ class SOFInstance:
             setup = self.setup_cost
             vms = self.sorted_vms()
             # One row per VM up front: every later distance query that
-            # touches a VM is then served by undirected symmetry.
-            oracle.warm(vms)
+            # touches a VM is then served by undirected symmetry.  The
+            # prefetch farms cold rows to the worker pool when the oracle
+            # runs with ``parallel_rows``; per-pair reads then batch into
+            # one gather per row on the vectorized tier.
+            oracle.prefetch_rows(vms)
+            np = kernel.np
+            use_np = np is not None and oracle.vectorized
+            setups = [setup(v) for v in vms] if use_np else None
             block: Dict[Node, Dict[Node, float]] = {v: {} for v in vms}
             for i, v1 in enumerate(vms):
                 row1 = block[v1]
                 s1 = setup(v1)
-                for v2 in vms[i + 1:]:
-                    base = oracle.distance(v1, v2)
-                    cost = base if base == float("inf") \
+                rest = vms[i + 1:]
+                ds = oracle.distances_to(v1, rest)
+                if use_np and len(rest) > 16:
+                    # Elementwise IEEE doubles in the scalar branch's
+                    # association, ``base + ((s1 + s2) / 2.0)``, with
+                    # ``inf`` rows passed through verbatim -- the costs
+                    # are bit-identical to the loop below.
+                    base = np.asarray(ds)
+                    costs = np.where(
+                        np.isinf(base), base,
+                        base + (s1 + np.asarray(setups[i + 1:])) / 2.0,
+                    ).tolist()
+                else:
+                    costs = [
+                        base if base == float("inf")
                         else base + (s1 + setup(v2)) / 2.0
+                        for v2, base in zip(rest, ds)
+                    ]
+                for v2, cost in zip(rest, costs):
                     row1[v2] = cost
                     block[v2][v1] = cost
             self._metric_block = block

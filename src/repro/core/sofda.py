@@ -131,8 +131,8 @@ class AuxiliaryOracle:
         for node in reals:
             condensed.add_node(node)  # keep unreachable terminals queryable
         for i, a in enumerate(reals):
-            for b in reals[i + 1:]:
-                d = base.distance(a, b)
+            rest = reals[i + 1:]
+            for b, d in zip(rest, base.distances_to(a, rest)):
                 if d < INF and a != b:
                     condensed.add_edge(a, b, d)
         self._condensed = condensed
@@ -152,7 +152,12 @@ class AuxiliaryOracle:
 
     def _ensure_fallback(self) -> FrozenOracle:
         if self._fallback is None:
-            self._fallback = FrozenOracle(self._aux_graph)
+            base = self._instance.oracle
+            self._fallback = FrozenOracle(
+                self._aux_graph,
+                parallel_rows=base.parallel_rows,
+                vectorized=base.vectorized,
+            )
         return self._fallback
 
     # ------------------------------------------------------------------

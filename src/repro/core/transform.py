@@ -21,7 +21,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, Hashable, Iterable, List, Optional
 
-from repro.graph import KStrollInstance, solve_kstroll
+from repro.graph import KStrollInstance, kernel, solve_kstroll
 from repro.core.forest import DeployedChain
 from repro.core.problem import SOFInstance
 
@@ -210,17 +210,43 @@ def chain_walk(
     pool.discard(last_vm)
     if pool_cap and len(pool) > pool_cap:
         oracle = instance.oracle
-
-        def detour(m: Node) -> float:
-            """Corridor detour score of a candidate intermediate VM."""
-            setup = (
-                setup_costs.get(m, instance.setup_cost(m))
-                if setup_costs is not None else instance.setup_cost(m)
+        pool_list = list(pool)
+        # Kernel tier: one gather per endpoint row instead of 2|pool|
+        # scalar reads.  ``detour_distances`` only answers when both rows
+        # are cached and already serve every candidate (returning None --
+        # side-effect free -- otherwise), so cache evolution and scores
+        # are identical to the scalar loop below.
+        batch = oracle.detour_distances(source, last_vm, pool_list)
+        if batch is not None:
+            np = kernel.np
+            da, db = batch
+            # ``setup_cost`` is exactly ``node_costs.get(node, 0.0)``;
+            # binding the dict lookup keeps the per-candidate method-call
+            # overhead out of this |pool|-sized comprehension.
+            ncg = instance.node_costs.get
+            setups = (
+                [setup_costs.get(m, ncg(m, 0.0)) for m in pool_list]
+                if setup_costs is not None
+                else [ncg(m, 0.0) for m in pool_list]
             )
-            # Query from the endpoints so only two Dijkstras are cached.
-            return oracle.distance(source, m) + setup + oracle.distance(last_vm, m)
+            # Elementwise IEEE doubles in the scalar loop's association,
+            # ``(d1 + setup) + d2``, so scores are bit-identical; the
+            # stable argsort reproduces ``sorted``'s tie-breaks (list
+            # order) exactly.
+            scores = (np.asarray(da) + np.asarray(setups)) + np.asarray(db)
+            keep = np.argsort(scores, kind="stable")[:pool_cap]
+            pool = {pool_list[i] for i in keep}
+        else:
+            def detour(m: Node) -> float:
+                """Corridor detour score of a candidate intermediate VM."""
+                setup = (
+                    setup_costs.get(m, instance.setup_cost(m))
+                    if setup_costs is not None else instance.setup_cost(m)
+                )
+                # Query from the endpoints so only two Dijkstras are cached.
+                return oracle.distance(source, m) + setup + oracle.distance(last_vm, m)
 
-        pool = set(sorted(pool, key=detour)[:pool_cap])
+            pool = set(sorted(pool_list, key=detour)[:pool_cap])
     kinst = build_kstroll_instance(
         instance,
         source,

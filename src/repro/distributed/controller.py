@@ -31,13 +31,18 @@ class Controller:
     domain: Set[Node]
     local_graph: Graph
     border_routers: List[Node] = field(default_factory=list)
+    #: Oracle kernel-tier knobs (fork-pool row builds / array label
+    #: buffers); defaults keep the serial list-backed reference path.
+    parallel_rows: int = 0
+    vectorized: bool = False
     #: Materialised oracle rows, keyed by source node.
     _local_dist: Dict[Node, Dict[Node, float]] = field(default_factory=dict, repr=False)
     _oracle: Optional[FrozenOracle] = field(default=None, repr=False)
 
     @classmethod
     def for_domain(
-        cls, controller_id: int, domain: Set[Node], graph: Graph
+        cls, controller_id: int, domain: Set[Node], graph: Graph,
+        parallel_rows: int = 0, vectorized: bool = False,
     ) -> "Controller":
         """Build a controller from the global graph and its domain."""
         local = graph.subgraph(domain)
@@ -53,6 +58,8 @@ class Controller:
             domain=set(domain),
             local_graph=local,
             border_routers=borders,
+            parallel_rows=parallel_rows,
+            vectorized=vectorized,
         )
 
     # ------------------------------------------------------------------
@@ -70,7 +77,9 @@ class Controller:
         """
         if self._oracle is None:
             self._oracle = FrozenOracle(
-                self.local_graph, hot=self.border_routers
+                self.local_graph, hot=self.border_routers,
+                parallel_rows=self.parallel_rows,
+                vectorized=self.vectorized,
             )
         return self._oracle
 

@@ -68,8 +68,14 @@ class DistributedSOFDA:
             raise ValueError("need at least one domain")
         self.instance = instance
         self.domains = partition_domains(instance.graph, num_domains, seed=seed)
+        # Per-domain oracles inherit the instance oracle's kernel-tier
+        # knobs, mirroring AuxiliaryOracle's fallback.
+        base = instance.oracle
         self.controllers = [
-            Controller.for_domain(i, domain, instance.graph)
+            Controller.for_domain(
+                i, domain, instance.graph,
+                parallel_rows=base.parallel_rows, vectorized=base.vectorized,
+            )
             for i, domain in enumerate(self.domains)
         ]
         self.bus = MessageBus()

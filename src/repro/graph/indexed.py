@@ -82,8 +82,15 @@ from __future__ import annotations
 
 import heapq
 import math
-from typing import Dict, FrozenSet, Hashable, Iterable, List, Mapping, Optional, Tuple
+from array import array
+from collections import Counter
+from operator import itemgetter
+from typing import (
+    Dict, FrozenSet, Hashable, Iterable, List, Mapping, Optional, Sequence,
+    Tuple,
+)
 
+from repro.graph import kernel
 from repro.graph.graph import Graph, canonical_edge
 from repro.graph.shortest_paths import dijkstra as _dict_dijkstra
 
@@ -139,6 +146,40 @@ PLANNER_SHARE_DENSITY = 0.5
 #: signature across rows; unbounded variants would turn the
 #: verification scan into the dominant cost).
 _PLANNER_SHARE_MAX_VARIANTS = 4
+
+#: Kernel-tier fork thresholds.  Below these batch sizes the pool's
+#: per-task pickling and scheduling overhead exceeds the work farmed
+#: out, so ``parallel_rows`` oracles stay serial (bit-identical either
+#: way; the thresholds are pure engagement policy).
+PARALLEL_MIN_BATCH = 4
+PARALLEL_MIN_REPAIRS = 8
+
+
+def _target_ids(index: Dict, targets: Sequence) -> Optional[List[int]]:
+    """Resolve ``targets`` against ``index`` in one C-speed gather.
+
+    Returns the id list when every target is present, ``None`` when any
+    target is missing -- callers then run their exact per-target slow
+    path.  ``operator.itemgetter`` keeps the per-element cost out of the
+    interpreter on the batched query paths, where a ~1000-candidate pool
+    is resolved on every Procedure-2 call.
+    """
+    try:
+        if len(targets) == 1:
+            return [index[targets[0]]]
+        return list(itemgetter(*targets)(index))
+    except KeyError:
+        return None
+
+#: Relative slack (in units of one ulp) granted per tree level when the
+#: single-boundary offset solve checks whether a shared region's
+#: separation margin survives re-running the same float additions from a
+#: per-row base distance: each accumulated label carries at most one
+#: rounding per tree level, both compared labels drift, plus slack for
+#: the base seed add itself.  See :meth:`_SharedRegion.apply_offset`.
+_OFFSET_ULPS_PER_LEVEL = 2
+_OFFSET_ULPS_BASE = 4
+_EPS = 2.0 ** -52
 
 
 def _costs_mostly_distinct(graph: Graph) -> bool:
@@ -1115,7 +1156,7 @@ class _SharedRegion:
     """
 
     __slots__ = ("root", "member", "nodes", "tail", "seed_items", "inner",
-                 "_mask", "_reach_mask")
+                 "_mask", "_reach_mask", "_arrays", "_solo")
 
     def __init__(
         self,
@@ -1156,6 +1197,8 @@ class _SharedRegion:
         self.inner = inner
         self._mask = None
         self._reach_mask = None
+        self._arrays = None
+        self._solo = None
 
     def matches(self, parent: List[int]) -> bool:
         """Whether ``parent``'s subtree below ``root`` is exactly this region."""
@@ -1163,6 +1206,20 @@ class _SharedRegion:
         p = parent[self.root]
         if p >= 0 and member[p]:
             return False
+        if kernel.np is not None and isinstance(parent, array):
+            # Vectorized-row fast path: same predicate, whole-array ops.
+            # A ``-1`` parent wraps to the last member byte under numpy
+            # fancy indexing, but its conjunct is already False, so the
+            # wrapped read can never flip the outcome.
+            np = kernel.np
+            tail_np, member_view, seed_u, seed_v_rep = self.arrays()[:4]
+            pview = kernel.i8_view(parent)
+            tp = pview[tail_np]
+            if not ((tp >= 0) & (member_view[tp] == 1)).all():
+                return False
+            if seed_u.size and (pview[seed_u] == seed_v_rep).any():
+                return False
+            return True
         for v in self.tail:
             p = parent[v]
             if p < 0 or not member[p]:
@@ -1171,6 +1228,179 @@ class _SharedRegion:
             for _, u in seed:
                 if parent[u] == v:
                     return False
+        return True
+
+    def arrays(self):
+        """Numpy companions of the region structures (lazy, per patch).
+
+        ``(tail_np, member_view, seed_u, seed_v_rep, nodes_np, seed_v,
+        seed_w, seed_starts, seed_lens)`` -- the membership/boundary data
+        re-expressed as flat arrays so :meth:`matches` and the
+        re-dijkstra's reset/seed/settle scans run as whole-array ops on
+        vectorized rows.  Only called when numpy is importable.
+        """
+        arrays = self._arrays
+        if arrays is None:
+            np = kernel.np
+            nodes_np = np.fromiter(self.nodes, np.int64, len(self.nodes))
+            tail_np = nodes_np[1:]
+            member_view = kernel.u8_view(self.member)
+            seed_v = [v for v, _ in self.seed_items]
+            lens = np.fromiter(
+                (len(seed) for _, seed in self.seed_items),
+                np.int64, len(seed_v),
+            )
+            flat_u: List[int] = []
+            flat_w: List[float] = []
+            for _, seed in self.seed_items:
+                for w, u in seed:
+                    flat_u.append(u)
+                    flat_w.append(w)
+            seed_u = np.fromiter(flat_u, np.int64, len(flat_u))
+            seed_w = np.fromiter(flat_w, np.float64, len(flat_w))
+            starts = np.zeros(len(seed_v), dtype=np.int64)
+            if len(seed_v) > 1:
+                np.cumsum(lens[:-1], out=starts[1:])
+            seed_v_rep = (
+                np.repeat(np.fromiter(seed_v, np.int64, len(seed_v)), lens)
+                if len(seed_v) else seed_u
+            )
+            arrays = self._arrays = (
+                tail_np, member_view, seed_u, seed_v_rep, nodes_np,
+                seed_v, seed_w, starts, lens,
+            )
+        return arrays
+
+    def solo_solve(self):
+        """The region solved once from its single boundary node (cached).
+
+        Only meaningful for bridge-detached regions (exactly one boundary
+        node ``v0``): a Dijkstra over :attr:`inner` from ``dist[v0] = 0``
+        whose acceptance order, final tree and *separation margin* let
+        :meth:`apply_offset` replay the identical float additions per
+        member row from the row's own seed distance.  Returns ``(order,
+        margin, maxd, depth)`` where ``order`` lists ``(node, parent,
+        edge_weight)`` in a topological order of the final tree, or
+        ``None`` when the region is not offset-eligible (several
+        boundary nodes, or an exact tie makes the margin zero).
+
+        The margin is the smallest nonzero gap between any two candidate
+        labels the solve ever computed: every comparison the per-row
+        re-dijkstra makes is between two such labels, so a margin wider
+        than the accumulated-rounding drift bound guarantees no
+        comparison outcome can flip when the whole solve is re-run from a
+        nonzero base -- float addition is monotone, so strict orders can
+        only collapse, never invert, and the margin rules collapses out.
+        A zero margin (an exact tie between distinct labels) disables the
+        offset: two different summation paths that tie at base zero may
+        round apart at a nonzero base.
+        """
+        solo = self._solo
+        if solo is None:
+            if len(self.seed_items) != 1:
+                solo = self._solo = (None,)
+                return None
+            v0 = self.seed_items[0][0]
+            inner = self.inner
+            dist: Dict[int, float] = {v0: 0.0}
+            parent: Dict[int, int] = {}
+            depth: Dict[int, int] = {v0: 0}
+            labels: List[float] = [0.0]
+            heap: List[Tuple[float, int]] = [(0.0, v0)]
+            push = heapq.heappush
+            pop = heapq.heappop
+            order: List[Tuple[int, int, float]] = []
+            while heap:
+                d, v = pop(heap)
+                if d > dist[v]:
+                    continue
+                for w, u in inner[v]:
+                    nd = d + w
+                    labels.append(nd)
+                    known = dist.get(u)
+                    if known is None or nd < known:
+                        dist[u] = nd
+                        parent[u] = v
+                        depth[u] = depth[v] + 1
+                        push(heap, (nd, u))
+            labels.sort()
+            margin = INF
+            for a, b in zip(labels, labels[1:]):
+                gap = b - a
+                if gap < margin:
+                    margin = gap
+                    if margin == 0.0:
+                        break
+            if margin == 0.0:
+                # An exact tie between two independently-summed labels:
+                # they may round apart once re-based, so no margin bound
+                # can clear the offset replay.
+                solo = self._solo = (None,)
+                return None
+            # Topological application order: sort members by final label
+            # (parents settle strictly before children -- weights with a
+            # zero-weight inner edge would tie, but a tie already zeroed
+            # the margin above), tie-impossible hence deterministic.
+            ordered = sorted(
+                ((d, u) for u, d in dist.items() if u != v0)
+            )
+            for d, u in ordered:
+                p = parent[u]
+                for w, x in inner[u]:
+                    if x == p and dist[p] + w == d:
+                        order.append((u, p, w))
+                        break
+                else:  # pragma: no cover - tree edge always present
+                    solo = self._solo = (None,)
+                    return None
+            maxd = max(dist.values())
+            max_depth = max(depth.values())
+            solo = self._solo = (order, margin, maxd, max_depth)
+        return None if solo[0] is None else solo
+
+    def apply_offset(self, dist, parent, settled, full) -> bool:
+        """Repair one row's copy of this region by per-row offsets.
+
+        The row-side half of the single-boundary shared solve: scan the
+        lone boundary node's seed candidates exactly as the heap path
+        would (first strict minimum over intact, settled-or-full
+        neighbors), then -- if the solo margin survives the drift bound
+        at this base -- replay the solo tree's additions ``dist[child] =
+        dist[parent] + w`` in topological order, which is literally the
+        same float expression sequence the per-row re-dijkstra evaluates.
+        Returns ``False`` when the caller must fall back to heap seeding
+        for this region (margin too small for this row's base, or no
+        cached solo); the region's labels are untouched in that case
+        (still at the caller's INF/-1 reset).
+        """
+        solo = self.solo_solve()
+        if solo is None:
+            return False
+        order, margin, maxd, depth = solo
+        v0, seed = self.seed_items[0]
+        best = INF
+        best_parent = -1
+        for w, u in seed:
+            if full or settled[u]:
+                nd = dist[u] + w
+                if nd < best:
+                    best = nd
+                    best_parent = u
+        if best_parent < 0:
+            # No intact boundary neighbor: the heap path would push
+            # nothing and the whole region stays at the INF/-1 reset.
+            return True
+        drift = (
+            (best + maxd) * _EPS * (_OFFSET_ULPS_PER_LEVEL * (depth + 1)
+                                    + _OFFSET_ULPS_BASE)
+        )
+        if margin <= drift:
+            return False
+        dist[v0] = best
+        parent[v0] = best_parent
+        for u, p, w in order:
+            dist[u] = dist[p] + w
+            parent[u] = p
         return True
 
     @property
@@ -1236,6 +1466,7 @@ def _repair_row_shared(
     walk_roots: Iterable[int],
     leafs: Iterable[Tuple[int, int]],
     union_cache: Dict,
+    offset_ok: bool = False,
 ) -> List[int]:
     """Apply one plan's increase repairs using shared region structures.
 
@@ -1249,6 +1480,20 @@ def _repair_row_shared(
     second pass recomputes the same minimum from the same intact
     neighbors.  The returned affected list is shared and must be treated
     as read-only by the caller.
+
+    ``offset_ok`` (the kernel tier's ``vectorized`` flag) additionally
+    lets bridge-detached regions -- exactly one boundary node -- repair
+    through :meth:`_SharedRegion.apply_offset`: the region is solved once
+    and each row replays the solve's additions from its own boundary seed
+    distance, skipping the per-row heap.  Only engaged when ``inner`` is
+    shared (regions are independent islands, so removing one from the
+    merged heap cannot perturb another), and only when the region's
+    separation margin provably survives the re-based rounding -- every
+    other case falls back to the heap path, so results stay
+    bit-identical.  The reset, boundary-seed and settle scans also run as
+    whole-array numpy ops on vectorized rows (same values: the scans are
+    pure gathers/constant stores and the seed scan keeps the
+    first-strict-minimum selection rule).
     """
     dist = row.dist
     parent = row.parent
@@ -1295,10 +1540,20 @@ def _repair_row_shared(
                     affect[u] = 1
                     stack.append(u)
 
-    for region in hits:
-        for v in region.nodes:
-            dist[v] = INF
-            parent[v] = -1
+    np = kernel.np
+    use_np = np is not None and isinstance(dist, array)
+    if use_np:
+        dview = kernel.f8_view(dist)
+        pview = kernel.i8_view(parent)
+        for region in hits:
+            nodes_np = region.arrays()[4]
+            dview[nodes_np] = INF
+            pview[nodes_np] = -1
+    else:
+        for region in hits:
+            for v in region.nodes:
+                dist[v] = INF
+                parent[v] = -1
     for v in walked:
         dist[v] = INF
         parent[v] = -1
@@ -1306,20 +1561,69 @@ def _repair_row_shared(
     heap: List[Tuple[float, int]] = []
     push = heapq.heappush
     pop = heapq.heappop
-    for region in hits:
-        for v, seed in region.seed_items:
-            best = INF
-            best_parent = -1
-            for w, u in seed:
-                if not affect[u] and (full or settled[u]):
-                    nd = dist[u] + w
-                    if nd < best:
-                        best = nd
-                        best_parent = u
-            if best_parent >= 0:
-                dist[v] = best
-                parent[v] = best_parent
-                push(heap, (best, v))
+    heap_hits = hits
+    if offset_ok and inner is not None:
+        # Bridge-detached regions solve once and replay per row; a region
+        # whose margin check fails stays at the INF/-1 reset and falls
+        # back to the ordinary heap seeding below.  Island independence
+        # (``inner is not None`` means pairwise disjoint, non-adjacent
+        # regions) makes the partition exact: the merged heap's
+        # relaxations never cross regions, so removing one region's
+        # entries cannot change any other's repair.
+        heap_hits = []
+        for region in hits:
+            if len(region.seed_items) == 1 and region.apply_offset(
+                dist, parent, settled, full
+            ):
+                continue
+            heap_hits.append(region)
+    if use_np and inner is not None:
+        # Whole-array boundary seeding.  ``inner is not None`` guarantees
+        # every seed target lies outside all regions (``not affect[u]``
+        # is vacuously true), so the scan reduces to a masked gather plus
+        # a first-strict-minimum per boundary segment -- exactly the
+        # selection the scalar loop makes.
+        sview = None if full else kernel.u8_view(settled)
+        for region in heap_hits:
+            arrays = region.arrays()
+            seed_u, seed_v, seed_w, starts, lens = (
+                arrays[2], arrays[5], arrays[6], arrays[7], arrays[8]
+            )
+            if not seed_v:
+                continue
+            vals = dview[seed_u] + seed_w
+            if sview is not None:
+                vals = np.where(sview[seed_u] != 0, vals, INF)
+            mins = np.minimum.reduceat(vals, starts)
+            size = vals.size
+            firsts = np.minimum.reduceat(
+                np.where(
+                    vals == np.repeat(mins, lens), np.arange(size), size
+                ),
+                starts,
+            )
+            for k, v in enumerate(seed_v):
+                best = mins[k]
+                if best < INF:
+                    best = float(best)
+                    dist[v] = best
+                    parent[v] = int(seed_u[firsts[k]])
+                    push(heap, (best, v))
+    else:
+        for region in heap_hits:
+            for v, seed in region.seed_items:
+                best = INF
+                best_parent = -1
+                for w, u in seed:
+                    if not affect[u] and (full or settled[u]):
+                        nd = dist[u] + w
+                        if nd < best:
+                            best = nd
+                            best_parent = u
+                if best_parent >= 0:
+                    dist[v] = best
+                    parent[v] = best_parent
+                    push(heap, (best, v))
     for v in walked:
         best = INF
         best_parent = -1
@@ -1360,9 +1664,15 @@ def _repair_row_shared(
 
     if not full:
         cutoff = row.cutoff
-        for region in hits:
-            for v in region.nodes:
-                settled[v] = 1 if dist[v] <= cutoff else 0
+        if use_np:
+            sview = kernel.u8_view(settled)
+            for region in hits:
+                nodes_np = region.arrays()[4]
+                sview[nodes_np] = dview[nodes_np] <= cutoff
+        else:
+            for region in hits:
+                for v in region.nodes:
+                    settled[v] = 1 if dist[v] <= cutoff else 0
         for v in walked:
             settled[v] = 1 if dist[v] <= cutoff else 0
 
@@ -1454,6 +1764,8 @@ class FrozenOracle:
         planner: bool = True,
         share_regions: bool = True,
         topology_patch: bool = True,
+        parallel_rows: int = 0,
+        vectorized: bool = False,
     ) -> None:
         self._graph = graph
         self._hot: set = set(hot) if hot is not None else set()
@@ -1480,6 +1792,32 @@ class FrozenOracle:
         #: invalidate-and-rebuild as the equivalence reference.  Served
         #: results are identical either way.
         self._topology_patch = topology_patch
+        #: Kernel tier, piece 1: ``parallel_rows=N`` farms batches of
+        #: independent row builds (:meth:`prefetch_rows`) and per-patch
+        #: row repairs to an ``N``-worker fork pool.  Workers inherit the
+        #: frozen CSR arrays by memory copy and ship back compact label
+        #: payloads, merged in deterministic row order -- bit-identical
+        #: to serial.  Fork-inheritance invariant: the pool is only ever
+        #: created while the oracle is *consistent* (before any install,
+        #: or after a patch plan is fully resolved and before any row is
+        #: written), so a worker can never observe a mid-patch oracle.
+        #: ``0``/``1`` (the default) keeps everything in-process;
+        #: platforms without fork fall back serially with a one-time
+        #: warning (:func:`repro.graph.kernel.fork_map`).
+        self._parallel_rows = max(int(parallel_rows), 0)
+        #: Kernel tier, piece 2: ``vectorized=True`` stores row labels in
+        #: ``array('d')``/``array('q')`` buffers (same values bit for
+        #: bit; scalar reads still yield plain floats/ints) so batch
+        #: queries (:meth:`distances_to`, :meth:`detour_distances`) and
+        #: the repair machinery's membership/boundary/settle scans run as
+        #: zero-copy numpy whole-array ops -- with a stdlib-``array``
+        #: scalar fallback when numpy is missing.  Also enables the
+        #: single-boundary shared-region offset solve (see
+        #: :meth:`_SharedRegion.apply_offset`).  ``False`` (the default)
+        #: keeps plain-list rows and per-query serving: the bit-identical
+        #: equivalence/bench reference, exactly as ``planner=`` /
+        #: ``share_regions=`` / ``topology_patch=`` gate their layers.
+        self._vectorized = bool(vectorized)
         #: Canonical node pairs currently tombstoned in the built cores.
         #: A removed edge's CSR slots persist at weight ``inf``, so an
         #: edge may only be (re)inserted while its slots still exist --
@@ -1514,13 +1852,41 @@ class FrozenOracle:
         #: the live rows -- the build trigger for the tree-edge index.
         self._index_low_hits = 0
         self._slow_rows: Dict[Node, Tuple[Dict[Node, float], Dict[Node, Node]]] = {}
-        self._queries: Dict[int, int] = {}
+        #: Per-node query counters.  A ``Counter`` rather than a plain
+        #: dict so the batched entry points can bump a whole target list
+        #: with one C-speed ``update`` -- reads stay dict-compatible.
+        self._queries: Counter = Counter()
         self._paths: Dict[Tuple[Node, Node], List[Node]] = {}
 
     @property
     def graph(self) -> Graph:
         """The underlying graph (must not be mutated while cached)."""
         return self._graph
+
+    @property
+    def parallel_rows(self) -> int:
+        """Worker count of the kernel tier's fork pool (0/1 = serial)."""
+        return self._parallel_rows
+
+    @property
+    def vectorized(self) -> bool:
+        """Whether rows use the kernel tier's array label buffers."""
+        return self._vectorized
+
+    def _freeze_row(self, dist, parent, settled, full) -> _Row:
+        """Wrap freshly-computed labels in a row, in the configured store.
+
+        The single chokepoint between the Dijkstra cores (which always
+        produce plain lists) and the cache: ``vectorized`` oracles
+        convert to ``array('d')``/``array('q')`` buffers here, so every
+        cached row is uniformly typed and the repair/query layers can
+        dispatch on one ``isinstance`` check.  Values are identical
+        either way -- the buffers store the same 64-bit doubles/ints.
+        """
+        if self._vectorized and not isinstance(dist, array):
+            dist = kernel.dist_buffer(dist)
+            parent = kernel.parent_buffer(parent)
+        return _Row(dist, parent, settled, full)
 
     def _build(self) -> None:
         if self._built:
@@ -1559,24 +1925,109 @@ class FrozenOracle:
         warm it first: afterwards any ``distance`` query touching the set
         is served from an existing row by undirected symmetry.
         """
+        self.prefetch_rows(nodes)
+
+    def prefetch_rows(self, nodes: Iterable[Node]) -> None:
+        """Precompute rows for ``nodes``, farming cold builds when allowed.
+
+        Identical contract and resulting cache state as :meth:`warm` --
+        cached rows are touched (``used``), missing rows are built and
+        installed in the callers' node order -- but with
+        ``parallel_rows > 1`` a batch of at least
+        :data:`PARALLEL_MIN_BATCH` cold rows is built on the fork pool:
+        each row is an independent Dijkstra over the frozen (inherited)
+        CSR arrays, so worker results are bit-identical to in-process
+        builds and only the deterministic install order matters.  Callers
+        that know their working set up front
+        (:meth:`~repro.core.problem.SOFInstance.metric_block`, the online
+        simulator's VM-pool warms) route here so cold batches are
+        discoverable.  Safe by the fork-inheritance invariant: this
+        method only runs between patches, never during one, so workers
+        always inherit a consistent oracle.
+        """
         self._build()
         if self._contracted is not None:
             index = self._contracted.index
+            missing: List[int] = []
+            seen: set = set()
             for node in nodes:
                 cid = index.get(node)
-                if cid is not None:
+                if cid is None:
+                    continue
+                row = self._rows.get(cid)
+                if row is None:
+                    if cid not in seen:
+                        seen.add(cid)
+                        missing.append(cid)
+                else:
+                    row.used = True
+            if len(missing) >= PARALLEL_MIN_BATCH and self._parallel_rows > 1:
+                payloads = kernel.fork_map(
+                    self._cold_contracted_payload, missing,
+                    self._parallel_rows, label="prefetch_rows",
+                )
+                for cid, payload in zip(missing, payloads):
+                    row = self._freeze_row(*payload)
+                    self._install_row(cid, row)
+                    row.used = True
+            else:
+                for cid in missing:
                     self._contracted_row(cid)
             return
         index = self.core.index
+        missing = []
+        seen = set()
         for node in nodes:
             node_id = index.get(node)
             if node_id is None:
                 continue
             row = self._rows.get(node_id)
             if row is None:
-                self._compute(node_id, None)
+                if node_id not in seen:
+                    seen.add(node_id)
+                    missing.append(node_id)
             else:
                 row.used = True
+        if len(missing) >= PARALLEL_MIN_BATCH and self._parallel_rows > 1:
+            payloads = kernel.fork_map(
+                self._cold_row_payload, missing,
+                self._parallel_rows, label="prefetch_rows",
+            )
+            for node_id, payload in zip(missing, payloads):
+                row = self._freeze_row(*payload)
+                self._install_row(node_id, row)
+        else:
+            for node_id in missing:
+                self._compute(node_id, None)
+
+    def _cold_contracted_payload(self, cid: int):
+        """One contracted cold row as a compact payload (pool worker)."""
+        dist, parent = self._contracted.dijkstra(cid)
+        if self._vectorized:
+            dist = kernel.dist_buffer(dist)
+            parent = kernel.parent_buffer(parent)
+        return dist, parent, None, True
+
+    def _cold_row_payload(self, source_id: int):
+        """One uncontracted cold row as a compact payload (pool worker).
+
+        Mirrors :meth:`_compute` with no target: early-stopped at the hot
+        set on non-patchable oracles, exhaustive otherwise.  Buffers are
+        converted worker-side so the pipe carries compact arrays.
+        """
+        core = self._core
+        if self._hot_ids and not self._patchable:
+            dist, parent, settled, exhausted = core.dijkstra(
+                source_id, self._hot_ids
+            )
+            full = exhausted
+        else:
+            dist, parent, settled, _ = core.dijkstra(source_id)
+            full = True
+        if self._vectorized:
+            dist = kernel.dist_buffer(dist)
+            parent = kernel.parent_buffer(parent)
+        return dist, parent, settled, full
 
     def extend_hot(self, nodes: Iterable[Node]) -> None:
         """Add nodes to the hot set (affects future row computations).
@@ -1985,51 +2436,157 @@ class FrozenOracle:
         indexed = self._indexed
         live = 0
         repaired = 0
-        for sid, row in list(rows.items()):
-            if not row.used:
-                del rows[sid]
-                if indexed.pop(sid, None) is not None and index is not None:
-                    # Shed the evicted row's registrations, or buckets on
-                    # never-re-patched pairs would accumulate dead sids
-                    # for the lifetime of the index (long simulators
-                    # evict thousands of per-request rows).  Entries from
-                    # pre-repair trees of the row may survive this walk;
-                    # they are pruned opportunistically at lookup.
-                    parent = row.parent
-                    for v, p in enumerate(parent):
-                        if p >= 0:
-                            bucket = index.get((v, p) if v < p else (p, v))
-                            if bucket is not None:
-                                bucket.discard(sid)
-                continue
-            live += 1
-            roots = general_roots.get(sid)
-            leafs = leaf_jobs.get(sid)
-            if roots or leafs:
-                repaired += 1
-                hits: List[_SharedRegion] = []
-                walk_roots: List[int] = []
-                if share_groups is not None and roots:
-                    hits, walk_roots = self._resolve_shared(
-                        adjacency, row, roots, share_groups
-                    )
+        offset_ok = self._vectorized
+
+        jobs: Optional[List[Tuple]] = None
+        if self._parallel_rows > 1:
+            touched = set(general_roots) | set(leaf_jobs)
+            candidates = sum(
+                1 for sid in touched
+                if sid in rows and rows[sid].used
+            )
+            if candidates >= PARALLEL_MIN_REPAIRS:
+                jobs = []
+
+        if jobs is not None:
+            # Parallel repairs, two passes.  Pass 1 evicts idle rows and
+            # resolves every row's shared-region hits *serially* (variant
+            # founding is order-dependent and must match the serial
+            # path's rows-iteration order); no row label is written yet.
+            # The fork therefore happens with the oracle fully consistent
+            # -- plan resolved, rows pristine -- upholding the
+            # fork-inheritance invariant.  Pass 2 farms the independent
+            # per-row repairs out, then merges the compact label payloads
+            # back in deterministic job order, so the resulting rows are
+            # bit-identical to the serial branch below.
+            for sid, row in list(rows.items()):
+                if not row.used:
+                    del rows[sid]
+                    if indexed.pop(sid, None) is not None and index is not None:
+                        parent = row.parent
+                        for v, p in enumerate(parent):
+                            if p >= 0:
+                                bucket = index.get((v, p) if v < p else (p, v))
+                                if bucket is not None:
+                                    bucket.discard(sid)
+                    continue
+                live += 1
+                roots = general_roots.get(sid)
+                leafs = leaf_jobs.get(sid)
+                if roots or leafs:
+                    repaired += 1
+                    hits: List[_SharedRegion] = []
+                    walk_roots: List[int] = []
+                    if share_groups is not None and roots:
+                        hits, walk_roots = self._resolve_shared(
+                            adjacency, row, roots, share_groups
+                        )
+                    jobs.append((sid, row, hits, walk_roots, roots, leafs))
+                else:
+                    row.stale = True
+                    row.used = False
+
+            def _repair_job(j: int):
+                sid, row, hits, walk_roots, roots, leafs = jobs[j]
                 if hits:
                     affected = _repair_row_shared(
                         adjacency, row, hits, walk_roots, leafs or (),
-                        union_cache,
+                        union_cache, offset_ok=offset_ok,
                     )
                 else:
                     affected = _repair_row_planned(
                         adjacency, row, roots or (), leafs or ()
                     )
-                if index is not None and affected:
-                    parent = row.parent
-                    for v in affected:
+                dist = row.dist
+                parent = row.parent
+                settled = row.settled
+                n_affected = len(affected)
+                ids = list(affected)
+                svals = (
+                    None if row.full or settled is None
+                    else bytes(settled[v] for v in ids)
+                )
+                if leafs:
+                    # Leaf fast jobs write labels outside the affected
+                    # region list; ship them too (idempotent overlap).
+                    ids.extend(leaf for leaf, _ in leafs)
+                dvals = array("d", (dist[v] for v in ids))
+                pvals = array("q", (parent[v] for v in ids))
+                return n_affected, ids, dvals, pvals, svals, row.cutoff
+
+            payloads = kernel.fork_map(
+                _repair_job, range(len(jobs)), self._parallel_rows,
+                label="patch_rows",
+            )
+            for job, payload in zip(jobs, payloads):
+                sid, row = job[0], job[1]
+                n_affected, ids, dvals, pvals, svals, cutoff = payload
+                dist = row.dist
+                parent = row.parent
+                for i, v in enumerate(ids):
+                    dist[v] = dvals[i]
+                    parent[v] = pvals[i]
+                if svals is not None:
+                    settled = row.settled
+                    for i in range(n_affected):
+                        settled[ids[i]] = svals[i]
+                row.cutoff = cutoff
+                row.children = None
+                if index is not None and n_affected:
+                    for i in range(n_affected):
+                        v = ids[i]
                         p = parent[v]
                         if p >= 0:
                             _index_add(index, v, p, sid)
-            row.stale = True
-            row.used = False
+                row.stale = True
+                row.used = False
+        else:
+            for sid, row in list(rows.items()):
+                if not row.used:
+                    del rows[sid]
+                    if indexed.pop(sid, None) is not None and index is not None:
+                        # Shed the evicted row's registrations, or buckets
+                        # on never-re-patched pairs would accumulate dead
+                        # sids for the lifetime of the index (long
+                        # simulators evict thousands of per-request rows).
+                        # Entries from pre-repair trees of the row may
+                        # survive this walk; they are pruned
+                        # opportunistically at lookup.
+                        parent = row.parent
+                        for v, p in enumerate(parent):
+                            if p >= 0:
+                                bucket = index.get((v, p) if v < p else (p, v))
+                                if bucket is not None:
+                                    bucket.discard(sid)
+                    continue
+                live += 1
+                roots = general_roots.get(sid)
+                leafs = leaf_jobs.get(sid)
+                if roots or leafs:
+                    repaired += 1
+                    hits = []
+                    walk_roots = []
+                    if share_groups is not None and roots:
+                        hits, walk_roots = self._resolve_shared(
+                            adjacency, row, roots, share_groups
+                        )
+                    if hits:
+                        affected = _repair_row_shared(
+                            adjacency, row, hits, walk_roots, leafs or (),
+                            union_cache, offset_ok=offset_ok,
+                        )
+                    else:
+                        affected = _repair_row_planned(
+                            adjacency, row, roots or (), leafs or ()
+                        )
+                    if index is not None and affected:
+                        parent = row.parent
+                        for v in affected:
+                            p = parent[v]
+                            if p >= 0:
+                                _index_add(index, v, p, sid)
+                row.stale = True
+                row.used = False
 
         # Adaptive index policy: keep the index only while patches repair
         # a minority of the live rows; arm a build only after a streak of
@@ -2137,6 +2694,7 @@ class FrozenOracle:
             graph, hot=self._hot, patchable=self._patchable,
             planner=self._planner, share_regions=self._share_regions,
             topology_patch=self._topology_patch,
+            parallel_rows=self._parallel_rows, vectorized=self._vectorized,
         )
         if self._built:
             clone._built = True
@@ -2149,9 +2707,11 @@ class FrozenOracle:
             for source_id, row in self._rows.items():
                 # Deep copies: patching repairs row arrays in place, and
                 # the original oracle must keep serving its own graph.
+                # Full slices preserve the label store (list or kernel
+                # array buffer) of the source row.
                 dup = _Row(
-                    list(row.dist),
-                    list(row.parent),
+                    row.dist[:],
+                    row.parent[:],
                     None if row.settled is None else bytearray(row.settled),
                     row.full,
                 )
@@ -2197,7 +2757,7 @@ class FrozenOracle:
         row = self._rows.get(cid)
         if row is None:
             dist, parent = self._contracted.dijkstra(cid)
-            row = _Row(dist, parent, None, True)
+            row = self._freeze_row(dist, parent, None, True)
             self._install_row(cid, row)
         row.used = True
         return row
@@ -2215,10 +2775,10 @@ class FrozenOracle:
                 else self._hot_ids + [target_id]
             )
             dist, parent, settled, exhausted = core.dijkstra(source_id, targets)
-            row = _Row(dist, parent, settled, exhausted)
+            row = self._freeze_row(dist, parent, settled, exhausted)
         else:
             dist, parent, settled, _ = core.dijkstra(source_id)
-            row = _Row(dist, parent, settled, True)
+            row = self._freeze_row(dist, parent, settled, True)
         self._install_row(source_id, row)
         return row
 
@@ -2238,7 +2798,7 @@ class FrozenOracle:
             # Cached but early-stopped short of the target: upgrade in full
             # so repeated cold queries never re-run the search.
             dist, parent, settled, _ = self.core.dijkstra(source_id)
-            row = _Row(dist, parent, settled, True)
+            row = self._freeze_row(dist, parent, settled, True)
             self._install_row(source_id, row)
             return row
         return self._compute(source_id, target_id)
@@ -2306,6 +2866,179 @@ class FrozenOracle:
                 source_id, tid = tid, source_id
             return self._compute(source_id, tid).dist[tid]
         return self._row_serving(source_id, tid).dist[tid]
+
+    def distances_to(self, source: Node, targets: Sequence[Node]) -> List[float]:
+        """Shortest-path costs from ``source`` to each of ``targets``.
+
+        Semantically ``[self.distance(source, t) for t in targets]`` --
+        and literally that on non-vectorized oracles, so the serial path
+        stays bit-identical to per-query serving.  Vectorized oracles
+        whose cached ``source`` row already serves every target (full, or
+        early-stopped with all targets settled) answer with one zero-copy
+        numpy gather instead of ``len(targets)`` dict/attribute walks,
+        replicating the per-query side effects exactly: the same query
+        counters, the same ``used`` mark, ``inf`` (and no counters) for
+        targets absent from the graph.  Any other cache state falls back
+        to the per-query loop, so no code path ever computes or serves a
+        row the scalar calls would not have.
+        """
+        targets = list(targets)
+        np = kernel.np
+        if not self._vectorized or np is None or not targets:
+            return [self.distance(source, t) for t in targets]
+        self._build()
+        contracted = self._contracted
+        if contracted is not None:
+            index = contracted.index
+            source_id = index.get(source)
+            row = self._rows.get(source_id) if source_id is not None else None
+            dview = kernel.f8_view(row.dist) if row is not None else None
+            if dview is None:
+                return [self.distance(source, t) for t in targets]
+            tids = _target_ids(index, targets)
+            if tids is None:
+                # A contracted-away target takes the exact slow path;
+                # keep the whole batch on per-query serving.
+                return [self.distance(source, t) for t in targets]
+            row.used = True
+            return dview[np.fromiter(tids, np.int64, len(tids))].tolist()
+        core = self.core
+        index = core.index
+        source_id = index[source]
+        row = self._rows.get(source_id)
+        dview = kernel.f8_view(row.dist) if row is not None else None
+        if dview is None:
+            return [self.distance(source, t) for t in targets]
+        tids = _target_ids(index, targets)
+        if tids is None:
+            tids = [index.get(t) for t in targets]
+            present = [tid for tid in tids if tid is not None]
+        else:
+            present = tids
+        if not present:
+            return [INF] * len(targets)
+        tid_arr = np.fromiter(present, np.int64, len(present))
+        if not row.full:
+            sview = kernel.u8_view(row.settled)
+            if sview is None or not (sview[tid_arr] != 0).all():
+                return [self.distance(source, t) for t in targets]
+        queries = self._queries
+        queries[source_id] = queries.get(source_id, 0) + len(present)
+        queries.update(present)
+        row.used = True
+        vals = dview[tid_arr].tolist()
+        if len(present) == len(tids):
+            return vals
+        out: List[float] = []
+        k = 0
+        for tid in tids:
+            if tid is None:
+                out.append(INF)
+            else:
+                out.append(vals[k])
+                k += 1
+        return out
+
+    def detour_distances(
+        self, a: Node, b: Node, targets: Sequence[Node]
+    ) -> Optional[Tuple[List[float], List[float]]]:
+        """Batched ``d(a, m)`` and ``d(b, m)`` for corridor-detour scans.
+
+        The kernel tier's entry point for Procedure 2's pool-cap filter,
+        which scores every candidate VM against both corridor endpoints.
+        Returns ``(da, db)`` aligned with ``targets`` when the two cached
+        endpoint rows can serve every target as-is, replicating exactly
+        the side effects ``2 * len(targets)`` scalar ``distance`` calls
+        would have (counters: +1 per endpoint per served target, +2 per
+        target; ``used`` marks; ``inf`` and no counters for targets
+        absent from the graph).  Returns ``None`` -- with **no** side
+        effects -- whenever any scalar call would have computed, upgraded
+        or rev-served a row, so callers fall back to the legacy loop and
+        the oracle's cache evolves identically either way.
+        """
+        np = kernel.np
+        if not self._vectorized or np is None:
+            return None
+        targets = list(targets)
+        if not targets:
+            return [], []
+        self._build()
+        contracted = self._contracted
+        if contracted is not None:
+            index = contracted.index
+            aid = index.get(a)
+            bid = index.get(b)
+            if aid is None or bid is None:
+                return None
+            arow = self._rows.get(aid)
+            brow = self._rows.get(bid)
+            if arow is None or brow is None:
+                return None
+            da_view = kernel.f8_view(arow.dist)
+            db_view = kernel.f8_view(brow.dist)
+            if da_view is None or db_view is None:
+                return None
+            tids = _target_ids(index, targets)
+            if tids is None:
+                return None
+            arow.used = True
+            brow.used = True
+            tid_arr = np.fromiter(tids, np.int64, len(tids))
+            return da_view[tid_arr].tolist(), db_view[tid_arr].tolist()
+        core = self.core
+        index = core.index
+        if a not in index or b not in index:
+            return None
+        aid = index[a]
+        bid = index[b]
+        arow = self._rows.get(aid)
+        brow = self._rows.get(bid)
+        if arow is None or brow is None:
+            return None
+        da_view = kernel.f8_view(arow.dist)
+        db_view = kernel.f8_view(brow.dist)
+        if da_view is None or db_view is None:
+            return None
+        tids = _target_ids(index, targets)
+        if tids is None:
+            tids = [index.get(t) for t in targets]
+            present = [tid for tid in tids if tid is not None]
+        else:
+            present = tids
+        tid_arr = np.fromiter(present, np.int64, len(present))
+        if present:
+            if not arow.full:
+                sview = kernel.u8_view(arow.settled)
+                if sview is None or not (sview[tid_arr] != 0).all():
+                    return None
+            if not brow.full:
+                sview = kernel.u8_view(brow.settled)
+                if sview is None or not (sview[tid_arr] != 0).all():
+                    return None
+        queries = self._queries
+        npres = len(present)
+        queries[aid] = queries.get(aid, 0) + npres
+        queries[bid] = queries.get(bid, 0) + npres
+        queries.update(present)
+        queries.update(present)
+        arow.used = True
+        brow.used = True
+        da = da_view[tid_arr].tolist()
+        db = db_view[tid_arr].tolist()
+        if npres != len(tids):
+            fa: List[float] = []
+            fb: List[float] = []
+            k = 0
+            for tid in tids:
+                if tid is None:
+                    fa.append(INF)
+                    fb.append(INF)
+                else:
+                    fa.append(da[k])
+                    fb.append(db[k])
+                    k += 1
+            da, db = fa, fb
+        return da, db
 
     def path(self, source: Node, target: Node) -> List[Node]:
         """A shortest path as a node list; raises if unreachable."""
@@ -2460,7 +3193,7 @@ class FrozenOracle:
         row = self._rows.get(source_id)
         if row is None or not row.full:
             dist, parent, settled, _ = core.dijkstra(source_id)
-            row = _Row(dist, parent, settled, True)
+            row = self._freeze_row(dist, parent, settled, True)
             self._install_row(source_id, row)
         row.used = True
         nodes = core.nodes

@@ -109,6 +109,8 @@ class OnlineSimulator:
         planner: bool = True,
         share_regions: bool = True,
         topology_patch: bool = True,
+        parallel_rows: int = 0,
+        vectorized: bool = False,
     ) -> None:
         self._network = network
         self._tracker = LoadTracker(
@@ -127,6 +129,10 @@ class OnlineSimulator:
         # ``topology_patch=False`` keeps incremental cost patching but
         # routes link failure/recovery through invalidate-and-rebuild
         # (the topology-change equivalence reference).
+        # ``parallel_rows``/``vectorized`` turn on the oracle's kernel
+        # tier (fork-pool row builds / array label buffers); the defaults
+        # keep the serial list-backed path bit-identical to pre-kernel
+        # behaviour, as the equivalence and bench reference.
         self._incremental = incremental
         self._planner = planner
         self._share_regions = share_regions
@@ -158,6 +164,7 @@ class OnlineSimulator:
             graph, hot=self._vms, patchable=self._incremental,
             planner=self._planner, share_regions=self._share_regions,
             topology_patch=self._topology_patch,
+            parallel_rows=parallel_rows, vectorized=vectorized,
         )
 
     @property
@@ -221,7 +228,7 @@ class OnlineSimulator:
                 f"background demand must be >= 0, got {demand_mbps!r}; "
                 "departures release load through Lease/release instead"
             )
-        self._oracle.warm(self._vms)
+        self._oracle.prefetch_rows(self._vms)
         for u, v in links:
             self._tracker.add_link_load(u, v, demand_mbps)
         self._sync_costs()
@@ -369,7 +376,7 @@ class OnlineSimulator:
         # request's Procedure-1 sweep reads all of it): touch it before
         # patching, exactly as ``apply_background_load`` does, so the
         # repair keeps the pool rows instead of evicting them as idle.
-        self._oracle.warm(self._vms)
+        self._oracle.prefetch_rows(self._vms)
         self._sync_costs()
         if self._incremental:
             self._oracle.patch_topology(removed=[(u, v)])
@@ -437,7 +444,7 @@ class OnlineSimulator:
             raise ValueError(f"link {key!r} is not a failed link")
         # Keep the VM-pool working set alive through the reinsert patch
         # (see :meth:`fail_link`).
-        self._oracle.warm(self._vms)
+        self._oracle.prefetch_rows(self._vms)
         self._sync_costs()
         cost = max(self._tracker.link_cost(u, v), self._cost_floor)
         if self._incremental and self._oracle.insertable(u, v):
@@ -477,16 +484,20 @@ def run_online_comparison(
     embedders: Dict[str, Embedder],
     requests: Sequence[Request],
     vms_per_datacenter: int = 5,
+    **simulator_kwargs,
 ) -> Dict[str, OnlineResult]:
     """Replay one request sequence through every algorithm (Fig. 12).
 
     Each algorithm gets a fresh simulator over an identical topology, so
-    load state never leaks between competitors.
+    load state never leaks between competitors.  Extra keyword arguments
+    (``parallel_rows``, ``vectorized``, the equivalence-reference flags)
+    pass straight through to every :class:`OnlineSimulator`.
     """
     results: Dict[str, OnlineResult] = {}
     for name, embedder in embedders.items():
         simulator = OnlineSimulator(
-            network_factory(), vms_per_datacenter=vms_per_datacenter
+            network_factory(), vms_per_datacenter=vms_per_datacenter,
+            **simulator_kwargs,
         )
         result = OnlineResult(name=name)
         total = 0.0

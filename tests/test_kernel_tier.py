@@ -1,0 +1,520 @@
+"""Kernel-tier equivalence: parallel rows and vectorized label arrays.
+
+The raw-speed kernel tier (``FrozenOracle(parallel_rows=N)`` /
+``FrozenOracle(vectorized=True)``) must be *bit-identical* to the serial
+list-backed reference under every workload the oracle supports: cold row
+builds, cost patches (planned, shared-region and per-row), topology
+patches, prefetch batches and the batched query entry points.  These
+tests replay identical randomized streams into kernel-tier and reference
+oracles over copies of the same graph and compare full row state after
+every patch -- the same contract (and the same idiom) as
+``test_patch_planner.py``, with row labels normalised across the
+``array``-vs-``list`` storage difference.
+
+The single-boundary offset solve (summation-stable shared regions) and
+the no-fork serial fallback are audited explicitly.
+"""
+
+import multiprocessing
+import random
+import warnings
+from array import array
+
+import pytest
+
+from repro.graph import FrozenOracle, Graph
+from repro.graph import indexed, kernel
+
+INF = float("inf")
+
+
+def random_graph(rng, num_nodes=36, edge_probability=0.15):
+    graph = Graph()
+    for i in range(num_nodes):
+        graph.add_node(i)
+    for i in range(num_nodes):
+        for j in range(i + 1, num_nodes):
+            if rng.random() < edge_probability:
+                graph.add_edge(i, j, rng.uniform(0.1, 5.0))
+    return graph
+
+
+def _patch_stream(rng, graph, rounds, direction, working=5, queries=10):
+    """One randomized op stream (built once, replayed into both oracles)."""
+    nodes = list(graph.nodes())
+    cost_now = {(u, v): cost for u, v, cost in graph.edges()}
+    edges = list(cost_now)
+    hot_rows = rng.sample(nodes, working)
+    ops = []
+    for _ in range(rounds):
+        for _ in range(queries):
+            ops.append(("distance", rng.choice(nodes), rng.choice(nodes)))
+        for node in hot_rows:
+            ops.append(("distance", node, rng.choice(nodes)))
+        if rng.random() < 0.3:
+            ops.append(("full", rng.choice(nodes)))
+        if rng.random() < 0.5:
+            ops.append(("prefetch", rng.sample(nodes, rng.randint(2, 8))))
+        changed = {}
+        for key in rng.sample(edges, rng.randint(1, 6)):
+            if direction == "up":
+                factor = rng.uniform(1.05, 2.5)
+            else:
+                factor = rng.uniform(0.3, 2.5)
+            cost_now[key] = cost_now[key] * factor
+            changed[key] = cost_now[key]
+        ops.append(("patch", changed))
+    return ops
+
+
+def _topology_stream(rng, graph, rounds):
+    """Cost patches interleaved with link failures and recoveries."""
+    nodes = list(graph.nodes())
+    cost_now = {(u, v): cost for u, v, cost in graph.edges()}
+    failed = []
+    ops = []
+    for _ in range(rounds):
+        for _ in range(8):
+            ops.append(("distance", rng.choice(nodes), rng.choice(nodes)))
+        live = [e for e in cost_now if e not in failed]
+        if failed and rng.random() < 0.5:
+            edge = failed.pop(rng.randrange(len(failed)))
+            ops.append(("insert", edge, cost_now[edge]))
+        elif len(live) > 4:
+            edge = live[rng.randrange(len(live))]
+            failed.append(edge)
+            ops.append(("remove", edge))
+        changed = {}
+        for key in rng.sample(live, min(3, len(live))):
+            if key in failed:
+                continue
+            cost_now[key] = cost_now[key] * rng.uniform(1.05, 2.0)
+            changed[key] = cost_now[key]
+        if changed:
+            ops.append(("patch", changed))
+    return ops
+
+
+def _row_states(oracle):
+    """Full observable repair state, normalised across buffer storage."""
+    return {
+        sid: (
+            list(row.dist),
+            list(row.parent),
+            None if row.settled is None else bytes(row.settled),
+            row.full,
+            row.stale,
+            row.cutoff,
+        )
+        for sid, row in oracle._rows.items()
+    }
+
+
+def _replay(oracle, ops):
+    """Apply one op stream; returns the row-state snapshot per patch."""
+    snapshots = []
+    for op in ops:
+        if op[0] == "distance":
+            oracle.distance(op[1], op[2])
+        elif op[0] == "full":
+            oracle.distances_from(op[1])
+        elif op[0] == "prefetch":
+            oracle.prefetch_rows(op[1])
+        elif op[0] == "remove":
+            oracle.patch_topology(removed=[op[1]])
+            snapshots.append(_row_states(oracle))
+        elif op[0] == "insert":
+            oracle.patch_topology(inserted={op[1]: op[2]})
+            snapshots.append(_row_states(oracle))
+        else:
+            oracle.patch_edge_costs(op[1])
+            snapshots.append(_row_states(oracle))
+    return snapshots
+
+
+def _final_check(rng, kernel_oracle, reference, graph, hot):
+    """Both oracles end exact against a cold rebuild, and agree."""
+    fresh = FrozenOracle(kernel_oracle.graph.copy(), hot=hot)
+    for source in rng.sample(list(graph.nodes()), 6):
+        expected = fresh.distances_from(source)
+        assert kernel_oracle.distances_from(source) == expected
+        assert reference.distances_from(source) == expected
+
+
+# ----------------------------------------------------------------------
+# vectorized label arrays
+# ----------------------------------------------------------------------
+
+@pytest.mark.parametrize("patchable", [False, True])
+@pytest.mark.parametrize("direction", ["up", "mixed"])
+def test_vectorized_matches_list_rows(direction, patchable):
+    """Randomized streams: bit-identical row state after every patch."""
+    for trial in range(3):
+        rng = random.Random(4100 * trial + (direction == "up") + 2 * patchable)
+        graph = random_graph(rng)
+        hot = rng.sample(list(graph.nodes()), 5)
+        ops = _patch_stream(rng, graph, rounds=8, direction=direction)
+        vectorized = FrozenOracle(
+            graph.copy(), hot=hot, patchable=patchable, vectorized=True
+        )
+        reference = FrozenOracle(graph.copy(), hot=hot, patchable=patchable)
+        assert _replay(vectorized, ops) == _replay(reference, ops)
+        # Same cache-evolution decisions: the root-choice heuristics read
+        # the query counters, so these must match exactly too.
+        assert vectorized._queries == reference._queries
+        _final_check(rng, vectorized, reference, graph, hot)
+
+
+@pytest.mark.parametrize("direction", ["up", "mixed"])
+def test_vectorized_matches_with_shared_regions(direction, monkeypatch):
+    """Forced region sharing: the vectorized seed/reset/settle scans and
+    the single-boundary offset solve leave state identical to the
+    list-backed shared path and the per-row reference."""
+    monkeypatch.setattr(indexed, "PLANNER_SHARE_MIN_ROWS", 1)
+    monkeypatch.setattr(indexed, "PLANNER_SHARE_DENSITY", 0.0)
+    for trial in range(3):
+        rng = random.Random(5200 * trial + (direction == "up"))
+        graph = random_graph(rng)
+        hot = rng.sample(list(graph.nodes()), 5)
+        ops = _patch_stream(rng, graph, rounds=8, direction=direction)
+        vec = FrozenOracle(
+            graph.copy(), hot=hot, vectorized=True, share_regions=True
+        )
+        plain = FrozenOracle(graph.copy(), hot=hot, share_regions=True)
+        legacy = FrozenOracle(graph.copy(), hot=hot, planner=False)
+        vec_snaps = _replay(vec, ops)
+        assert vec_snaps == _replay(plain, ops)
+        assert vec_snaps == _replay(legacy, ops)
+        _final_check(rng, vec, plain, graph, hot)
+
+
+def test_offset_solve_single_boundary_pod(monkeypatch):
+    """A bridge-detached pod region repairs through the offset solve.
+
+    Star-of-trees behind a single uplink (the ``test_patch_planner``
+    amortisation topology): every row rooted outside the pod detaches
+    the same single-boundary region when the uplink cost grows, so the
+    vectorized oracle must route those repairs through
+    ``_SharedRegion.apply_offset`` and still match the list-backed
+    reference bit for bit.
+    """
+    monkeypatch.setattr(indexed, "PLANNER_SHARE_MIN_ROWS", 1)
+    monkeypatch.setattr(indexed, "PLANNER_SHARE_DENSITY", 0.0)
+    applied = []
+    orig = indexed._SharedRegion.apply_offset
+
+    def counting(self, *args, **kwargs):
+        result = orig(self, *args, **kwargs)
+        applied.append(result)
+        return result
+
+    monkeypatch.setattr(indexed._SharedRegion, "apply_offset", counting)
+    edges = [
+        ("hub", "s0", 1.0), ("hub", "s1", 1.2), ("hub", "s2", 1.4),
+        ("hub", "p0", 1.0), ("p0", "p1", 1.1), ("p1", "p2", 1.2),
+        ("p0", "q0", 0.5), ("p1", "q1", 0.5), ("p2", "q2", 0.5),
+    ]
+    rows = ("hub", "s0", "s1", "s2", "p0", "p1", "q2")
+    vec = FrozenOracle(Graph.from_edges(edges), vectorized=True)
+    plain = FrozenOracle(Graph.from_edges(edges))
+    for oracle in (vec, plain):
+        for node in rows:
+            oracle.distances_from(node)
+        oracle.patch_edge_costs({("hub", "p0"): 3.0})
+    assert applied and any(applied), "offset solve never engaged"
+    assert _row_states(vec) == _row_states(plain)
+    fresh = FrozenOracle(vec.graph.copy())
+    for node in rows:
+        assert vec.distances_from(node) == fresh.distances_from(node)
+
+
+def test_offset_solve_unreachable_region():
+    """Offset path handles a region whose lone boundary seed is dead.
+
+    After the uplink fails entirely the pod is unreachable from outside
+    rows; a later cost patch inside the pod must keep outside rows at
+    ``inf`` through the offset path's reset-only branch.
+    """
+    edges = [
+        ("hub", "s0", 1.0),
+        ("hub", "p0", 1.0), ("p0", "p1", 1.1), ("p0", "q0", 0.5),
+    ]
+    vec = FrozenOracle(Graph.from_edges(edges), vectorized=True)
+    plain = FrozenOracle(Graph.from_edges(edges))
+    for oracle in (vec, plain):
+        for node in ("hub", "s0", "p0"):
+            oracle.distances_from(node)
+        oracle.patch_topology(removed=[("hub", "p0")])
+        oracle.patch_edge_costs({("p0", "p1"): 4.0})
+        assert oracle.distance("hub", "p1") == INF
+    assert _row_states(vec) == _row_states(plain)
+
+
+def test_vectorized_rows_store_arrays():
+    """Vectorized oracles actually cache buffer-backed rows (and the
+    reference keeps lists), so the equivalence above covers the intended
+    storage tier rather than two list-backed paths."""
+    rng = random.Random(7)
+    graph = random_graph(rng)
+    vec = FrozenOracle(graph.copy(), vectorized=True)
+    plain = FrozenOracle(graph.copy())
+    vec.distances_from(0)
+    plain.distances_from(0)
+    vrow = next(iter(vec._rows.values()))
+    prow = next(iter(plain._rows.values()))
+    assert isinstance(vrow.dist, array) and vrow.dist.typecode == "d"
+    assert isinstance(vrow.parent, array) and vrow.parent.typecode == "q"
+    assert isinstance(prow.dist, list) and isinstance(prow.parent, list)
+    # Scalar reads stay plain Python numbers on both tiers.
+    assert type(vrow.dist[0]) is float and type(vrow.parent[0]) is int
+
+
+# ----------------------------------------------------------------------
+# batched query entry points
+# ----------------------------------------------------------------------
+
+@pytest.mark.parametrize("vectorized", [False, True])
+def test_distances_to_matches_scalar(vectorized):
+    """``distances_to`` returns scalar-loop values AND scalar-loop side
+    effects (query counters, cached row set) in every cache state."""
+    for trial in range(3):
+        rng = random.Random(610 + trial)
+        graph = random_graph(rng)
+        nodes = list(graph.nodes())
+        hot = rng.sample(nodes, 5)
+        batched = FrozenOracle(graph.copy(), hot=hot, vectorized=vectorized)
+        scalar = FrozenOracle(graph.copy(), hot=hot, vectorized=vectorized)
+        for _ in range(30):
+            source = rng.choice(nodes)
+            targets = rng.sample(nodes, rng.randint(1, 10))
+            if rng.random() < 0.3:
+                targets.append(("ghost", rng.randint(0, 5)))  # not in graph
+                rng.shuffle(targets)
+            got = batched.distances_to(source, targets)
+            want = [scalar.distance(source, t) for t in targets]
+            assert got == want
+            if rng.random() < 0.3:
+                node = rng.choice(nodes)
+                batched.prefetch_rows([node])
+                scalar.warm([node])
+        assert batched._queries == scalar._queries
+        assert _row_states(batched) == _row_states(scalar)
+
+
+def test_detour_distances_matches_scalar():
+    """``detour_distances`` either answers with scalar values + scalar
+    side effects, or returns ``None`` leaving the oracle untouched."""
+    for trial in range(3):
+        rng = random.Random(910 + trial)
+        graph = random_graph(rng)
+        nodes = list(graph.nodes())
+        batched = FrozenOracle(graph.copy(), vectorized=True)
+        scalar = FrozenOracle(graph.copy(), vectorized=True)
+        answered = 0
+        for round_index in range(30):
+            a, b = rng.sample(nodes, 2)
+            targets = rng.sample(nodes, rng.randint(1, 8))
+            if rng.random() < 0.2:
+                targets.append(("ghost", rng.randint(0, 5)))
+                rng.shuffle(targets)
+            before_queries = dict(batched._queries)
+            before_rows = _row_states(batched)
+            got = batched.detour_distances(a, b, targets)
+            if got is None:
+                # Refusal must be side-effect free.
+                assert batched._queries == before_queries
+                assert _row_states(batched) == before_rows
+                for m in targets:  # keep both caches in lockstep
+                    batched.distance(a, m)
+                    batched.distance(b, m)
+            else:
+                answered += 1
+                da, db = got
+                assert da == [scalar.distance(a, m) for m in targets]
+                assert db == [scalar.distance(b, m) for m in targets]
+                continue  # scalar side already queried below
+            for m in targets:
+                scalar.distance(a, m)
+                scalar.distance(b, m)
+            if rng.random() < 0.4:
+                pair = rng.sample(nodes, 2)
+                batched.prefetch_rows(pair)
+                scalar.prefetch_rows(pair)
+            assert batched._queries == scalar._queries
+        # Warm both endpoint rows explicitly: the fast path must engage.
+        a, b = rng.sample(nodes, 2)
+        batched.prefetch_rows([a, b])
+        scalar.prefetch_rows([a, b])
+        got = batched.detour_distances(a, b, nodes)
+        assert got is not None
+        da, db = got
+        assert da == [scalar.distance(a, m) for m in nodes]
+        assert db == [scalar.distance(b, m) for m in nodes]
+        assert batched._queries == scalar._queries
+
+
+# ----------------------------------------------------------------------
+# parallel rows
+# ----------------------------------------------------------------------
+
+needs_fork = pytest.mark.skipif(
+    "fork" not in multiprocessing.get_all_start_methods(),
+    reason="platform has no fork start method",
+)
+
+
+@needs_fork
+@pytest.mark.parametrize("contracted", [False, True])
+def test_parallel_prefetch_matches_serial(contracted, monkeypatch):
+    """Fork-pool cold-row builds are bit-identical to serial builds."""
+    monkeypatch.setattr(indexed, "PARALLEL_MIN_BATCH", 2)
+    if contracted:
+        monkeypatch.setattr(indexed, "CONTRACT_MIN_INTERIOR", 1)
+    for trial in range(2):
+        rng = random.Random(7300 + trial)
+        graph = random_graph(rng)
+        nodes = list(graph.nodes())
+        hot = rng.sample(nodes, 6)
+        parallel = FrozenOracle(
+            graph.copy(), hot=hot, parallel_rows=2, vectorized=True
+        )
+        serial = FrozenOracle(graph.copy(), hot=hot, vectorized=True)
+        if contracted:
+            assert parallel.contracted is not None
+        for _ in range(6):
+            batch = rng.sample(nodes, rng.randint(2, 9))
+            parallel.prefetch_rows(batch)
+            serial.prefetch_rows(batch)
+            assert _row_states(parallel) == _row_states(serial)
+        for _ in range(20):
+            u, v = rng.choice(nodes), rng.choice(nodes)
+            assert parallel.distance(u, v) == serial.distance(u, v)
+        assert _row_states(parallel) == _row_states(serial)
+
+
+@needs_fork
+@pytest.mark.parametrize("direction", ["up", "mixed"])
+def test_parallel_patch_repairs_match_serial(direction, monkeypatch):
+    """Fork-pool patch repairs are bit-identical after every patch."""
+    monkeypatch.setattr(indexed, "PARALLEL_MIN_BATCH", 2)
+    monkeypatch.setattr(indexed, "PARALLEL_MIN_REPAIRS", 2)
+    for trial in range(2):
+        rng = random.Random(8400 * (trial + 1) + (direction == "up"))
+        graph = random_graph(rng)
+        hot = rng.sample(list(graph.nodes()), 5)
+        ops = _patch_stream(rng, graph, rounds=6, direction=direction)
+        parallel = FrozenOracle(
+            graph.copy(), hot=hot, patchable=True,
+            parallel_rows=2, vectorized=True,
+        )
+        serial = FrozenOracle(graph.copy(), hot=hot, patchable=True)
+        assert _replay(parallel, ops) == _replay(serial, ops)
+        assert parallel._queries == serial._queries
+        _final_check(rng, parallel, serial, graph, hot)
+
+
+@needs_fork
+def test_parallel_shared_regions_match_serial(monkeypatch):
+    """Parallel repairs compose with forced region sharing + offsets."""
+    monkeypatch.setattr(indexed, "PLANNER_SHARE_MIN_ROWS", 1)
+    monkeypatch.setattr(indexed, "PLANNER_SHARE_DENSITY", 0.0)
+    monkeypatch.setattr(indexed, "PARALLEL_MIN_REPAIRS", 2)
+    for trial in range(2):
+        rng = random.Random(9500 + trial)
+        graph = random_graph(rng)
+        hot = rng.sample(list(graph.nodes()), 5)
+        ops = _patch_stream(rng, graph, rounds=6, direction="up")
+        parallel = FrozenOracle(
+            graph.copy(), hot=hot, parallel_rows=2, vectorized=True,
+            share_regions=True,
+        )
+        serial = FrozenOracle(graph.copy(), hot=hot, planner=False)
+        assert _replay(parallel, ops) == _replay(serial, ops)
+
+
+@needs_fork
+def test_parallel_topology_patches_match_serial(monkeypatch):
+    """Link failure/recovery streams stay bit-identical under the
+    kernel tier (tombstone removes, decrease-from-infinity inserts)."""
+    monkeypatch.setattr(indexed, "PARALLEL_MIN_BATCH", 2)
+    monkeypatch.setattr(indexed, "PARALLEL_MIN_REPAIRS", 2)
+    for trial in range(2):
+        rng = random.Random(1600 + trial)
+        graph = random_graph(rng)
+        hot = rng.sample(list(graph.nodes()), 5)
+        ops = _topology_stream(rng, graph, rounds=8)
+        parallel = FrozenOracle(
+            graph.copy(), hot=hot, patchable=True,
+            parallel_rows=2, vectorized=True,
+        )
+        serial = FrozenOracle(graph.copy(), hot=hot, patchable=True)
+        assert _replay(parallel, ops) == _replay(serial, ops)
+
+
+def test_no_fork_fallback_warns_once_and_matches(monkeypatch):
+    """Without fork the kernel tier runs serially -- identical results,
+    one ``RuntimeWarning`` naming the call site, never a crash."""
+    monkeypatch.setattr(indexed, "PARALLEL_MIN_BATCH", 2)
+    monkeypatch.setattr(
+        multiprocessing, "get_all_start_methods", lambda: ["spawn"]
+    )
+    monkeypatch.setattr(kernel, "_warned_no_fork", False)
+    rng = random.Random(42)
+    graph = random_graph(rng)
+    nodes = list(graph.nodes())
+    hot = rng.sample(nodes, 5)
+    parallel = FrozenOracle(
+        graph.copy(), hot=hot, parallel_rows=4, vectorized=True
+    )
+    serial = FrozenOracle(graph.copy(), hot=hot, vectorized=True)
+    with warnings.catch_warnings(record=True) as caught:
+        warnings.simplefilter("always")
+        parallel.prefetch_rows(nodes[:10])
+        parallel.prefetch_rows(nodes[10:20])
+    serial.prefetch_rows(nodes[:10])
+    serial.prefetch_rows(nodes[10:20])
+    runtime = [w for w in caught if issubclass(w.category, RuntimeWarning)]
+    assert len(runtime) == 1  # once per process, not once per call
+    assert "fork" in str(runtime[0].message)
+    assert _row_states(parallel) == _row_states(serial)
+
+
+# ----------------------------------------------------------------------
+# cross-layer: simulator churn and clones
+# ----------------------------------------------------------------------
+
+def test_rebased_clone_preserves_kernel_flags():
+    rng = random.Random(3)
+    graph = random_graph(rng)
+    oracle = FrozenOracle(graph, vectorized=True, parallel_rows=3)
+    oracle.distances_from(0)
+    clone = oracle.rebased(graph.copy(), {})
+    assert clone.vectorized and clone.parallel_rows == 3
+    assert _row_states(clone) == _row_states(oracle)
+    # Copied rows keep the buffer storage tier (type-preserving copies).
+    row = next(iter(clone._rows.values()))
+    assert isinstance(row.dist, array) and isinstance(row.parent, array)
+
+
+def test_simulator_kernel_flags_bit_identical_churn():
+    """An online churn run under the kernel tier embeds every request at
+    the exact serial cost with the exact acceptance decisions."""
+    from repro.core.sofda import sofda
+    from repro.online import RequestGenerator, run_online_comparison
+    from repro.topology import softlayer_network
+
+    network = softlayer_network(seed=3)
+    requests = RequestGenerator(
+        network, seed=5, destinations_range=(3, 4), sources_range=(2, 2),
+        chain_length=2,
+    ).take(4)
+    embedders = {"SOFDA": lambda inst: sofda(inst).forest}
+    plain = run_online_comparison(
+        lambda: network, embedders, requests, vms_per_datacenter=2
+    )
+    kerneled = run_online_comparison(
+        lambda: network, embedders, requests, vms_per_datacenter=2,
+        parallel_rows=2, vectorized=True,
+    )
+    assert plain["SOFDA"].per_request_cost == kerneled["SOFDA"].per_request_cost
+    assert plain["SOFDA"].rejected == kerneled["SOFDA"].rejected
