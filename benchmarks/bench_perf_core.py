@@ -48,6 +48,15 @@ tracks the *repo's own* performance trajectory.  It measures:
   (drift 0.0, identical acceptance decisions).  Worker-pool spawn is
   warmed outside the timed windows (``kernel.warm_fork``), the same way
   topology generation is excluded;
+- ``online_budget_s`` / ``online_budget_unbounded_s``: a 50k-node Inet
+  churn trace replayed with the oracle's row-cache residency budgeted to
+  exactly the VM-pool rows (``row_budget_bytes``, the RowCache layer)
+  versus unbounded -- the acceptance metric for the memory-bounded-scale
+  PR.  The budgeted run must stay under its byte budget between events
+  (zero enforcement overshoots), actually evict (the budget binds), and
+  still match the unbounded reference bit-for-bit: drift exactly 0.0 and
+  identical acceptance decisions, because evicted rows recompute to
+  identical labels;
 - ``sweep_slice_s`` / ``sweep_serial_s``: a small ``run_sweep`` slice with
   ``workers=4`` vs serial (speedup needs a multi-core runner; single-core
   CI only checks the outputs match);
@@ -72,7 +81,9 @@ and the failure trace's topology patches must stay bit-identical (costs,
 acceptances, reroutes, *and* disruptions) to the same reference, and the
 kernel-tier runs must stay bit-identical (drift exactly 0.0, identical
 acceptance decisions) to their serial list-backed references on both
-tracked traces.
+tracked traces, and the budgeted 50k-node churn trace must stay under
+its row-cache byte budget with drift exactly 0.0 and identical
+acceptance decisions versus the unbounded reference.
 """
 
 from __future__ import annotations
@@ -462,6 +473,98 @@ def _run_failure_trace(incremental: bool):
     return result, elapsed
 
 
+#: Budgeted-churn trace shape: a 50k-node Inet topology (the scale
+#: ceiling PR) whose unbounded VM-pool rows alone hold ~20 MB of label
+#: buffers, replayed with the oracle's row-cache residency capped at
+#: exactly the pool (``_BUDGET_ROWS`` rows).  Every request's working-set
+#: rows then overflow the budget and are evicted after serving; evicted
+#: rows recompute bit-identically on the next touch, so the budgeted
+#: replay must match the unbounded reference in costs *and* acceptance
+#: decisions while never holding more than the budget between events.
+_BUDGET_NODES = 50000
+_BUDGET_LINKS = 100000
+_BUDGET_DCS = 6
+_BUDGET_VMS_PER_DC = 4
+_BUDGET_ROWS = _BUDGET_DCS * _BUDGET_VMS_PER_DC
+_BUDGET_HORIZON = 4.0
+_BUDGET_RATE = 0.8
+_BUDGET_HOLD_MEAN = 2.0
+
+
+def _budget_network():
+    return inet_network(
+        num_nodes=_BUDGET_NODES, num_links=_BUDGET_LINKS,
+        num_datacenters=_BUDGET_DCS, seed=0,
+    )
+
+
+def _budget_row_bytes() -> int:
+    """Budget for exactly the VM-pool rows (VM nodes join the graph)."""
+    from repro.graph.rowcache import row_nbytes
+
+    num_vms = _BUDGET_DCS * _BUDGET_VMS_PER_DC
+    return _BUDGET_ROWS * row_nbytes(_BUDGET_NODES + num_vms)
+
+
+def _budget_schedule(network):
+    """One embedder-independent 50k-node schedule (pure function of seeds)."""
+    from repro.online import RequestGenerator as _RequestGenerator
+    from repro.workload import (
+        BackgroundChurn,
+        ExponentialHolding,
+        PoissonArrivals,
+        build_schedule,
+    )
+
+    generator = _RequestGenerator(
+        network, seed=0, destinations_range=(2, 3), sources_range=(1, 1)
+    )
+    process = PoissonArrivals(generator, rate=_BUDGET_RATE, seed=1)
+    holding = ExponentialHolding(mean=_BUDGET_HOLD_MEAN, seed=2)
+    links = sorted(
+        ((u, v) for u, v, _ in network.graph.edges()), key=edge_sort_key
+    )[:12]
+    background = BackgroundChurn(
+        period=1.0,
+        link_batches=tuple(tuple(links[i::3]) for i in range(3)),
+        demand_mbps=2.0,
+    )
+    return build_schedule(
+        process, horizon=_BUDGET_HORIZON, holding=holding,
+        background=background,
+    )
+
+
+def _run_budget_trace(row_budget_bytes):
+    """Replay the 50k-node churn workload under one residency budget.
+
+    Mirrors :func:`_run_churn_trace` (topology, simulator, schedule and
+    the VM-pool warm stay outside the timed window).
+    ``row_budget_bytes=None`` is the unbounded reference.  Returns
+    ``(ChurnResult, elapsed_seconds)``; ``ChurnResult.cache_stats``
+    carries the oracle's end-of-run residency counters.
+    """
+    from repro.workload import WorkloadEngine
+
+    network = _budget_network()
+    simulator = OnlineSimulator(
+        network, vms_per_datacenter=_BUDGET_VMS_PER_DC, incremental=True,
+        row_budget_bytes=row_budget_bytes,
+    )
+    schedule = _budget_schedule(network)
+    engine = WorkloadEngine(simulator, lambda inst: sofda(inst).forest)
+    simulator.apply_background_load((), 0.0)  # warm the pool rows
+    gc.collect()  # the timed window should not pay for earlier sections
+    start = time.perf_counter()
+    result = engine.run(schedule)
+    elapsed = time.perf_counter() - start
+    assert result.rejected == 0, (
+        f"budget trace rejected {result.rejected} requests "
+        f"(budget={row_budget_bytes}); the trace must embed every arrival"
+    )
+    return result, elapsed
+
+
 def _run_sweep_slice(network, workers: int, algo_workers: int = 1):
     """One tracked sweep slice; returns ``(result, elapsed_seconds)``.
 
@@ -569,6 +672,14 @@ def run_perf_core() -> dict:
         failures_patched, elapsed = _run_failure_trace(incremental=True)
         failures_patch_s = min(failures_patch_s, elapsed)
 
+    # Budgeted-vs-unbounded 50k-node churn: the memory-bounded-scale
+    # acceptance metric.  One run each (the metric is bounded residency
+    # with zero drift, not a speed ratio; the timings are informational).
+    budget_bytes = _budget_row_bytes()
+    budget_unbounded, budget_unbounded_s = _run_budget_trace(None)
+    budget_bounded, budget_bounded_s = _run_budget_trace(budget_bytes)
+    budget_stats = budget_bounded.cache_stats or {}
+
     sweep_network = softlayer_network(seed=1)
     sweep_serial, sweep_serial_s = _run_sweep_slice(sweep_network, workers=1)
     sweep_pooled, sweep_pooled_s = _run_sweep_slice(sweep_network, workers=4)
@@ -652,6 +763,36 @@ def run_perf_core() -> dict:
         ),
         "online_failures_rerouted": failures_patched.rerouted,
         "online_failures_disrupted": failures_patched.disrupted,
+        "online_budget_s": round(budget_bounded_s, 4),
+        "online_budget_unbounded_s": round(budget_unbounded_s, 4),
+        "online_budget_nodes": _BUDGET_NODES,
+        "online_budget_bytes": budget_bytes,
+        "online_budget_resident_bytes": budget_stats.get("total_bytes", 0),
+        "online_budget_peak_bytes": budget_stats.get("peak_bytes", 0),
+        "online_budget_unbounded_peak_bytes": (
+            (budget_unbounded.cache_stats or {}).get("peak_bytes", 0)
+        ),
+        "online_budget_evictions": budget_stats.get("evictions", 0),
+        "online_budget_overshoots": budget_stats.get("overshoots", 0),
+        "online_budget_cost": budget_bounded.total_cost,
+        "online_budget_max_request_drift": max(
+            abs(a - b) if a is not None and b is not None else (
+                0.0 if a is None and b is None else float("inf")
+            )
+            for a, b in zip(
+                budget_bounded.per_request_cost,
+                budget_unbounded.per_request_cost,
+            )
+        ),
+        "online_budget_decisions_match": (
+            [c is None for c in budget_bounded.per_request_cost]
+            == [c is None for c in budget_unbounded.per_request_cost]
+            and budget_bounded.departures == budget_unbounded.departures
+        ),
+        "online_budget_under_budget": (
+            budget_stats.get("total_bytes", 0) <= budget_bytes
+            and budget_stats.get("overshoots", 1) == 0
+        ),
         "sweep_slice_s": round(sweep_pooled_s, 4),
         "sweep_serial_s": round(sweep_serial_s, 4),
         "sweep_algo_s": round(sweep_algo_s, 4),
@@ -681,7 +822,7 @@ def test_perf_core(once):
                 "online_trace_s", "online_many_rows_s",
                 "online_many_rows_kernel_s", "online_dense_patch_s",
                 "online_dense_patch_kernel_s", "online_churn_s",
-                "online_failures_s", "sweep_slice_s"):
+                "online_failures_s", "online_budget_s", "sweep_slice_s"):
         before = seed.get(key)
         after = measured[key]
         ratio = f"  ({before / after:.2f}x)" if before else ""
@@ -721,6 +862,16 @@ def test_perf_core(once):
         f" ({measured['online_failures_invalidate_s'] / measured['online_failures_s']:.2f}x,"
         f" {measured['online_failures_rerouted']} rerouted,"
         f" {measured['online_failures_disrupted']} disrupted)"
+    )
+    print(
+        f"  budget trace ({measured['online_budget_nodes']} nodes):"
+        f" unbounded {measured['online_budget_unbounded_s']}s"
+        f" (peak {measured['online_budget_unbounded_peak_bytes']} B)"
+        f" -> budgeted {measured['online_budget_s']}s"
+        f" (budget {measured['online_budget_bytes']} B,"
+        f" resident {measured['online_budget_resident_bytes']} B,"
+        f" {measured['online_budget_evictions']} evictions,"
+        f" {measured['online_budget_overshoots']} overshoots)"
     )
     print(
         f"  sweep slice: serial {measured['sweep_serial_s']}s"
@@ -800,6 +951,15 @@ def test_perf_core(once):
         or abs(measured["online_failures_cost"]
                - seed["online_failures_cost"]) <= 1e-6
     )
+    # Evicted rows recompute to bit-identical labels, so the budgeted
+    # 50k-node replay must match the unbounded reference exactly (costs
+    # and acceptance decisions) while staying under its byte budget with
+    # zero enforcement overshoots.
+    budget_ok = (
+        measured["online_budget_max_request_drift"] == 0.0
+        and measured["online_budget_decisions_match"]
+        and measured["online_budget_under_budget"]
+    )
     if _strict():
         assert cost_ok, "largest-cell forest cost drifted from the baseline"
         assert trace_ok, "patched online trace diverged from full rebuild"
@@ -835,6 +995,10 @@ def test_perf_core(once):
         )
         assert failures_baseline_ok, (
             "failure trace cost drifted from the baseline"
+        )
+        assert budget_ok, (
+            "budgeted 50k-node churn trace drifted from the unbounded "
+            "reference or exceeded its row-cache byte budget"
         )
         assert measured["sweep_outputs_match"], "pooled sweep != serial sweep"
         assert measured["sweep_algo_outputs_match"], (
@@ -902,6 +1066,16 @@ def test_perf_core(once):
         "failure trace at least 1.2x faster than the full-invalidate path",
         measured["online_failures_s"] * 1.2
         <= measured["online_failures_invalidate_s"],
+    )
+    shape_check("budget trace: budgeted == unbounded, drift exactly 0.0 "
+                "and identical acceptance decisions", budget_ok)
+    shape_check(
+        "budget trace: resident rows never exceed the byte budget",
+        measured["online_budget_under_budget"],
+    )
+    shape_check(
+        "budget trace: the budget actually bound (evictions occurred)",
+        measured["online_budget_evictions"] > 0,
     )
     shape_check("pooled sweep output identical to serial",
                 measured["sweep_outputs_match"])

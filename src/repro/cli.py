@@ -214,7 +214,14 @@ def _cmd_workload(args: argparse.Namespace) -> int:
         embedders.update(
             {"eNEMP": enemp_baseline, "eST": est_baseline, "ST": st_baseline}
         )
-    results = run_churn_comparison(factory, embedders, schedule)
+    simulator_kwargs = {}
+    if args.row_budget_mb is not None:
+        simulator_kwargs["row_budget_bytes"] = int(
+            args.row_budget_mb * 2 ** 20
+        )
+    results = run_churn_comparison(
+        factory, embedders, schedule, **simulator_kwargs
+    )
     with_failures = any(r.failures for r in results.values())
     header = (f"\n{'algo':8s} {'arrive':>6s} {'accept':>6s} {'reject':>6s} "
               f"{'rate':>6s} {'depart':>6s} {'peak':>5s} {'active':>6s} "
@@ -234,6 +241,15 @@ def _cmd_workload(args: argparse.Namespace) -> int:
                     f"{result.disrupted:5d} {result.disruption_rate:5.1%} "
                     f"{result.mean_recovery_latency:6.2f}")
         print(row)
+    if args.row_budget_mb is not None:
+        print(f"\nrow-cache residency (budget {args.row_budget_mb:g} MB):")
+        for name, result in results.items():
+            stats = result.cache_stats or {}
+            print(f"{name:8s} rows={stats.get('rows', 0):5d} "
+                  f"bytes={stats.get('total_bytes', 0):>10d} "
+                  f"peak={stats.get('peak_bytes', 0):>10d} "
+                  f"evictions={stats.get('evictions', 0):6d} "
+                  f"overshoots={stats.get('overshoots', 0):3d}")
     return 0
 
 
@@ -353,6 +369,11 @@ def build_parser() -> argparse.ArgumentParser:
                           help="record the schedule to a JSONL trace")
     workload.add_argument("--replay", metavar="PATH",
                           help="replay a recorded JSONL trace instead")
+    workload.add_argument("--row-budget-mb", type=float, default=None,
+                          metavar="MB",
+                          help="bound oracle row-cache residency to MB "
+                               "megabytes (cost-aware eviction; default "
+                               "unbounded)")
     workload.set_defaults(func=_cmd_workload)
 
     table1 = sub.add_parser("table1", help="SOFDA runtime grid")

@@ -154,7 +154,9 @@ def destination_join(
     oracle = instance.oracle
     L = len(instance.chain)
     progress = _vnf_progress(forest)
-    free_vms = [vm for vm in instance.vms if vm not in forest.enabled]
+    free_vms = sorted(
+        (vm for vm in instance.vms if vm not in forest.enabled), key=repr
+    )
 
     best: Optional[Tuple[float, Node, Optional[DeployedChain], List[Node]]] = None
     for u, applied in sorted(progress.items(), key=lambda kv: repr(kv[0])):
@@ -433,8 +435,14 @@ def reroute_congested_link(
                 if chain.placements:
                     points.update(chain.walk[max(chain.placements):])
             points |= {a for e in out.tree_edges for a in e}
-            for dest in new_instance.destinations:
-                best_pt = min(points, key=lambda p: oracle.distance(p, dest))
+            # Sorted scans: ``min`` over the salted set (and the salted
+            # destination order) would break equal-distance tie-breaks
+            # differently per process.
+            for dest in sorted(new_instance.destinations, key=repr):
+                best_pt = min(
+                    sorted(points, key=repr),
+                    key=lambda p: oracle.distance(p, dest),
+                )
                 for a, b in zip(
                     oracle.path(best_pt, dest), oracle.path(best_pt, dest)[1:]
                 ):
@@ -517,7 +525,7 @@ def reroute_failed_link(
                     if chain.placements:
                         points.update(chain.walk[max(chain.placements):])
                 points |= {a for e in out.tree_edges for a in e}
-                for dest in instance.destinations:
+                for dest in sorted(instance.destinations, key=repr):
                     best_pt: Optional[Node] = None
                     best_d = float("inf")
                     for p in sorted(points, key=repr):

@@ -141,8 +141,11 @@ class ServiceOverlayForest:
     def setup_cost(self) -> float:
         """Total setup cost of enabled VMs plus any source setup costs."""
         cost = sum(self.instance.setup_cost(node) for node in self.enabled)
+        # Sorted so the float accumulation order (hence the last-ulp
+        # rounding) does not follow the set's hash-salted iteration.
         cost += sum(
-            self.instance.source_setup_cost(s) for s in self.used_sources()
+            self.instance.source_setup_cost(s)
+            for s in sorted(self.used_sources(), key=repr)
         )
         return cost
 
@@ -174,7 +177,9 @@ class ServiceOverlayForest:
                 if key not in paid:
                     paid.add(key)
                     cost += graph.cost(u, v)
-        for u, v in self.tree_edges:
+        # Sorted so the float accumulation order (hence the last-ulp
+        # rounding) does not follow the set's hash-salted iteration.
+        for u, v in sorted(self.tree_edges, key=repr):
             if (num_functions, u, v) in paid or (num_functions, v, u) in paid:
                 continue
             paid.add((num_functions, u, v))

@@ -256,7 +256,9 @@ class SOFInstance:
         graph = self.graph.copy()
         new_vms = set(self.vms)
         node_costs = dict(self.node_costs)
-        for vm in self.vms:
+        # Sorted so replica nodes enter the graph (and its adjacency
+        # order) deterministically rather than in salted set order.
+        for vm in sorted(self.vms, key=repr):
             for i in range(1, copies):
                 replica = (vm, f"replica{i}")
                 graph.add_node(replica)

@@ -157,6 +157,7 @@ class AuxiliaryOracle:
                 self._aux_graph,
                 parallel_rows=base.parallel_rows,
                 vectorized=base.vectorized,
+                row_budget_bytes=base.row_budget_bytes,
             )
         return self._fallback
 

@@ -210,7 +210,11 @@ def chain_walk(
     pool.discard(last_vm)
     if pool_cap and len(pool) > pool_cap:
         oracle = instance.oracle
-        pool_list = list(pool)
+        # Deterministic sweep order: a bare ``list(pool)`` follows the
+        # set's hash-salted iteration order, which leaks PYTHONHASHSEED
+        # into oracle query order (hence row-install order and equal-score
+        # tie-breaks) and makes runs irreproducible across processes.
+        pool_list = sorted(pool, key=repr)
         # Kernel tier: one gather per endpoint row instead of 2|pool|
         # scalar reads.  ``detour_distances`` only answers when both rows
         # are cached and already serve every candidate (returning None --

@@ -35,6 +35,11 @@ class Controller:
     #: buffers); defaults keep the serial list-backed reference path.
     parallel_rows: int = 0
     vectorized: bool = False
+    #: Per-domain row-cache residency budget in bytes (``None`` =
+    #: unbounded); inherited from the instance oracle so a budgeted
+    #: deployment bounds every controller's memory, not just the
+    #: coordinator's.
+    row_budget_bytes: Optional[int] = None
     #: Materialised oracle rows, keyed by source node.
     _local_dist: Dict[Node, Dict[Node, float]] = field(default_factory=dict, repr=False)
     _oracle: Optional[FrozenOracle] = field(default=None, repr=False)
@@ -43,6 +48,7 @@ class Controller:
     def for_domain(
         cls, controller_id: int, domain: Set[Node], graph: Graph,
         parallel_rows: int = 0, vectorized: bool = False,
+        row_budget_bytes: Optional[int] = None,
     ) -> "Controller":
         """Build a controller from the global graph and its domain."""
         local = graph.subgraph(domain)
@@ -60,6 +66,7 @@ class Controller:
             border_routers=borders,
             parallel_rows=parallel_rows,
             vectorized=vectorized,
+            row_budget_bytes=row_budget_bytes,
         )
 
     # ------------------------------------------------------------------
@@ -80,8 +87,18 @@ class Controller:
                 self.local_graph, hot=self.border_routers,
                 parallel_rows=self.parallel_rows,
                 vectorized=self.vectorized,
+                row_budget_bytes=self.row_budget_bytes,
             )
         return self._oracle
+
+    def cache_stats(self) -> Dict[str, Optional[int]]:
+        """Row-cache counters of the per-domain oracle.
+
+        See :meth:`~repro.graph.indexed.FrozenOracle.cache_stats`; a
+        coordinator-level residency rebalancer reads these to apportion
+        a global budget across domains.
+        """
+        return self.oracle.cache_stats()
 
     def local_distances_from(self, node: Node) -> Dict[Node, float]:
         """Intra-domain shortest-path costs from ``node`` (an oracle row)."""

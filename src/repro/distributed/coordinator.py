@@ -75,6 +75,7 @@ class DistributedSOFDA:
             Controller.for_domain(
                 i, domain, instance.graph,
                 parallel_rows=base.parallel_rows, vectorized=base.vectorized,
+                row_budget_bytes=base.row_budget_bytes,
             )
             for i, domain in enumerate(self.domains)
         ]

@@ -21,6 +21,7 @@ implemented from scratch:
 from repro.graph.graph import Graph
 from repro.graph.dsu import DisjointSetUnion
 from repro.graph.indexed import FrozenOracle, IndexedGraph
+from repro.graph.rowcache import RowCache
 from repro.graph.shortest_paths import (
     DistanceOracle,
     dijkstra,
@@ -36,6 +37,7 @@ __all__ = [
     "DisjointSetUnion",
     "FrozenOracle",
     "IndexedGraph",
+    "RowCache",
     "DistanceOracle",
     "dijkstra",
     "shortest_path",

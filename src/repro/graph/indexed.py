@@ -92,6 +92,7 @@ from typing import (
 
 from repro.graph import kernel
 from repro.graph.graph import Graph, canonical_edge
+from repro.graph.rowcache import RowCache
 from repro.graph.shortest_paths import dijkstra as _dict_dijkstra
 
 Node = Hashable
@@ -1766,6 +1767,7 @@ class FrozenOracle:
         topology_patch: bool = True,
         parallel_rows: int = 0,
         vectorized: bool = False,
+        row_budget_bytes: Optional[int] = None,
     ) -> None:
         self._graph = graph
         self._hot: set = set(hot) if hot is not None else set()
@@ -1827,7 +1829,17 @@ class FrozenOracle:
         self._contracted: Optional[_ContractedCore] = None
         self._built = False
         self._hot_ids: List[int] = []
-        self._rows: Dict[int, _Row] = {}
+        #: The row store (:class:`~repro.graph.rowcache.RowCache`): owns
+        #: per-row byte accounting and every eviction policy -- the
+        #: idle-at-patch drop, unbounded-repair drops and cost-aware
+        #: budget eviction under ``row_budget_bytes``.  ``None`` (the
+        #: default) keeps today's unbounded behavior bit-identically;
+        #: with a budget, residency is enforced at the oracle's
+        #: consistency boundaries (after each row install, at the end of
+        #: each patch), so a budgeted oracle serves the same values and
+        #: only residency/recompute work differ.
+        self._rows: RowCache = RowCache(row_budget_bytes)
+        self._rows.on_evict = self._deregister_row
         #: Inverted tree-edge index for the planner: canonical id pair ->
         #: set of cached-row sources whose parent tree (possibly) uses the
         #: pair as a tree edge.  Lazily maintained: built only once the
@@ -1872,6 +1884,52 @@ class FrozenOracle:
     def vectorized(self) -> bool:
         """Whether rows use the kernel tier's array label buffers."""
         return self._vectorized
+
+    @property
+    def row_budget_bytes(self) -> Optional[int]:
+        """Row-cache residency budget in bytes (``None`` = unbounded)."""
+        return self._rows.budget_bytes
+
+    def cache_stats(self) -> Dict[str, Optional[int]]:
+        """Row-cache residency and traffic counters for service layers.
+
+        The :meth:`RowCache.stats` snapshot (rows resident, accounted
+        bytes, peak, hits/misses, evictions by policy, budget
+        overshoots) plus ``tree_index_bytes``: the estimated residency
+        of the inverted pair->rows tree-edge index, which the oracle
+        owns outside the per-row budget because the adaptive index
+        policy already builds and drops it wholesale by patch density.
+        """
+        stats = self._rows.stats()
+        index = self._tree_index
+        index_bytes = 0
+        if index is not None:
+            index_bytes = 64 * len(index) \
+                + 8 * sum(len(bucket) for bucket in index.values())
+        stats["tree_index_bytes"] = index_bytes
+        return stats
+
+    def _deregister_row(self, source_id: int, row: _Row) -> None:
+        """Shed an evicted row's tree-edge index registrations.
+
+        The :class:`RowCache` eviction callback, shared by every drop
+        policy: without it, buckets on never-re-patched pairs would
+        accumulate dead sids for the lifetime of the index (long
+        simulators evict thousands of per-request rows).  Entries from
+        pre-repair trees of the row may survive this walk; they are
+        pruned opportunistically at lookup.  No-op while the index is
+        down (the common case).
+        """
+        if self._indexed.pop(source_id, None) is None:
+            return
+        index = self._tree_index
+        if index is None:
+            return
+        for v, p in enumerate(row.parent):
+            if p >= 0:
+                bucket = index.get((v, p) if v < p else (p, v))
+                if bucket is not None:
+                    bucket.discard(source_id)
 
     def _freeze_row(self, dist, parent, settled, full) -> _Row:
         """Wrap freshly-computed labels in a row, in the configured store.
@@ -2359,12 +2417,13 @@ class FrozenOracle:
                     # Idle for a whole patch interval: recompute on demand
                     # (exactly the rebuild path) instead of repairing
                     # forever.
-                    del rows[source_id]
+                    rows.evict(source_id, "idle")
                 elif _repair_row(adjacency, row, increases, decreases):
                     row.stale = True
                     row.used = False
                 else:
-                    del rows[source_id]
+                    rows.evict(source_id, "repair")
+            rows.enforce()
             return
 
         # Planned pure-increase patch: classify once, then repair only the
@@ -2433,7 +2492,6 @@ class FrozenOracle:
                 share_groups = {c: [] for c in dense}
                 union_cache = {}
 
-        indexed = self._indexed
         live = 0
         repaired = 0
         offset_ok = self._vectorized
@@ -2461,14 +2519,7 @@ class FrozenOracle:
             # bit-identical to the serial branch below.
             for sid, row in list(rows.items()):
                 if not row.used:
-                    del rows[sid]
-                    if indexed.pop(sid, None) is not None and index is not None:
-                        parent = row.parent
-                        for v, p in enumerate(parent):
-                            if p >= 0:
-                                bucket = index.get((v, p) if v < p else (p, v))
-                                if bucket is not None:
-                                    bucket.discard(sid)
+                    rows.evict(sid, "idle")
                     continue
                 live += 1
                 roots = general_roots.get(sid)
@@ -2543,21 +2594,7 @@ class FrozenOracle:
         else:
             for sid, row in list(rows.items()):
                 if not row.used:
-                    del rows[sid]
-                    if indexed.pop(sid, None) is not None and index is not None:
-                        # Shed the evicted row's registrations, or buckets
-                        # on never-re-patched pairs would accumulate dead
-                        # sids for the lifetime of the index (long
-                        # simulators evict thousands of per-request rows).
-                        # Entries from pre-repair trees of the row may
-                        # survive this walk; they are pruned
-                        # opportunistically at lookup.
-                        parent = row.parent
-                        for v, p in enumerate(parent):
-                            if p >= 0:
-                                bucket = index.get((v, p) if v < p else (p, v))
-                                if bucket is not None:
-                                    bucket.discard(sid)
+                    rows.evict(sid, "idle")
                     continue
                 live += 1
                 roots = general_roots.get(sid)
@@ -2600,6 +2637,13 @@ class FrozenOracle:
             self._index_low_hits += 1
         else:
             self._index_low_hits = 0
+
+        # Budgeted oracles settle residency at the patch boundary: the
+        # accounting invariant is "never over budget *between* patches"
+        # (repairs rewrite labels in place and cannot grow a row, so
+        # this is a no-op unless the idle drop was outweighed by the
+        # interval's installs).
+        rows.enforce()
 
     def _resolve_shared(
         self,
@@ -2689,12 +2733,20 @@ class FrozenOracle:
         ``share_regions`` flags) but not the inverted tree-edge index:
         its immediate patch classifies with a scan pass, so one-shot
         clones never pay for an index build.
+
+        A budgeted oracle's clone inherits ``row_budget_bytes`` and
+        seeds through the same policy: rows are copied in retention
+        order (the reverse of the eviction order) and only while they
+        fit the clone's budget, so a dynamic-adjustment clone can never
+        double peak residency.  Unbounded oracles copy every row in
+        insertion order, exactly as before.
         """
         clone = FrozenOracle(
             graph, hot=self._hot, patchable=self._patchable,
             planner=self._planner, share_regions=self._share_regions,
             topology_patch=self._topology_patch,
             parallel_rows=self._parallel_rows, vectorized=self._vectorized,
+            row_budget_bytes=self._rows.budget_bytes,
         )
         if self._built:
             clone._built = True
@@ -2704,7 +2756,14 @@ class FrozenOracle:
                 clone._core = self._core.clone()
             if self._contracted is not None:
                 clone._contracted = self._contracted.clone()
-            for source_id, row in self._rows.items():
+            if self._rows.budget_bytes is None:
+                seed_ids = list(self._rows)
+            else:
+                seed_ids = self._rows.retention_order()
+            for source_id in seed_ids:
+                row = self._rows[source_id]
+                if not clone._rows.would_fit(row):
+                    continue  # seed only what fits the clone's budget
                 # Deep copies: patching repairs row arrays in place, and
                 # the original oracle must keep serving its own graph.
                 # Full slices preserve the label store (list or kernel
@@ -2752,6 +2811,11 @@ class FrozenOracle:
                 if p >= 0:
                     _index_add(index, v, p, source_id)
             self._indexed[source_id] = row
+        if self._rows.budget_bytes is not None:
+            # Budgeted oracles enforce residency at every install (cold
+            # misses, prefetch batches, stale recomputes, upgrades),
+            # protecting the row the caller is about to serve from.
+            self._rows.enforce(protect=(source_id,))
 
     def _contracted_row(self, cid: int) -> _Row:
         row = self._rows.get(cid)

@@ -160,7 +160,9 @@ def solve_kstroll_insertion(instance: KStrollInstance, k: int) -> Tuple[List[Nod
     pool = _validate_k(instance, k)
     s, t = instance.source, instance.target
     path = [s, t]
-    remaining = set(pool)
+    # Keep the pool's (deterministic) order: a set here would break
+    # equal-delta ties in hash-salted iteration order.
+    remaining = list(pool)
     cost = instance.cost
     matrix = None if callable(cost) else cost
     edge = instance.edge
@@ -188,7 +190,7 @@ def solve_kstroll_insertion(instance: KStrollInstance, k: int) -> Tuple[List[Nod
                         best_delta, best_node, best_pos = delta, node, pos
         assert best_node is not None
         path.insert(best_pos + 1, best_node)
-        remaining.discard(best_node)
+        remaining.remove(best_node)
     return path, instance.path_cost(path)
 
 
@@ -203,7 +205,9 @@ def solve_kstroll_greedy(instance: KStrollInstance, k: int) -> Tuple[List[Node],
     pool = _validate_k(instance, k)
     s, t = instance.source, instance.target
     path = [s]
-    remaining = set(pool)
+    # Keep the pool's (deterministic) order: ``min`` over a set breaks
+    # equal-cost ties in hash-salted iteration order.
+    remaining = list(pool)
     cost = instance.cost
     matrix = None if callable(cost) else cost
     while len(path) < k - 1:
@@ -213,7 +217,7 @@ def solve_kstroll_greedy(instance: KStrollInstance, k: int) -> Tuple[List[Node],
         else:
             nxt = min(remaining, key=lambda node: instance.edge(current, node))
         path.append(nxt)
-        remaining.discard(nxt)
+        remaining.remove(nxt)
     path.append(t)
     return path, instance.path_cost(path)
 

@@ -111,6 +111,7 @@ class OnlineSimulator:
         topology_patch: bool = True,
         parallel_rows: int = 0,
         vectorized: bool = False,
+        row_budget_bytes: Optional[int] = None,
     ) -> None:
         self._network = network
         self._tracker = LoadTracker(
@@ -133,6 +134,11 @@ class OnlineSimulator:
         # tier (fork-pool row builds / array label buffers); the defaults
         # keep the serial list-backed path bit-identical to pre-kernel
         # behaviour, as the equivalence and bench reference.
+        # ``row_budget_bytes`` caps the oracle row cache's accounted
+        # residency (see :mod:`repro.graph.rowcache`): long-lived
+        # simulators over large topologies bound memory by evicting
+        # low-retention rows, which recompute to bit-identical labels on
+        # demand.  ``None`` (the default) keeps today's unbounded cache.
         self._incremental = incremental
         self._planner = planner
         self._share_regions = share_regions
@@ -165,12 +171,22 @@ class OnlineSimulator:
             planner=self._planner, share_regions=self._share_regions,
             topology_patch=self._topology_patch,
             parallel_rows=parallel_rows, vectorized=vectorized,
+            row_budget_bytes=row_budget_bytes,
         )
 
     @property
     def tracker(self) -> LoadTracker:
         """The simulator's load state."""
         return self._tracker
+
+    def cache_stats(self) -> Dict[str, Optional[int]]:
+        """The shared oracle's row-cache residency/traffic counters.
+
+        See :meth:`~repro.graph.indexed.FrozenOracle.cache_stats`; the
+        workload engine and benches read this to track resident row
+        bytes and eviction counts over a trace.
+        """
+        return self._oracle.cache_stats()
 
     @property
     def vms(self) -> List[Node]:

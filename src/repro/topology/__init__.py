@@ -24,6 +24,7 @@ from repro.topology.network import CloudNetwork
 from repro.topology.generators import (
     cogent_network,
     erdos_renyi_network,
+    fabric_network,
     geographic_network,
     inet_network,
     softlayer_network,
@@ -35,6 +36,7 @@ __all__ = [
     "softlayer_network",
     "cogent_network",
     "inet_network",
+    "fabric_network",
     "geographic_network",
     "waxman_network",
     "erdos_renyi_network",

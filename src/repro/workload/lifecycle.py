@@ -197,6 +197,10 @@ class ChurnResult:
     #: Per-recovery downtime (recover time minus fail time), in trace
     #: time units, in recovery order.
     recovery_latencies: List[float] = field(default_factory=list)
+    #: Oracle row-cache counters captured at end of run (rows resident,
+    #: bytes, hits/misses, evictions); ``None`` when the simulator does
+    #: not expose :meth:`~repro.online.simulator.OnlineSimulator.cache_stats`.
+    cache_stats: Optional[dict] = None
 
     @property
     def acceptance_rate(self) -> float:
@@ -306,6 +310,9 @@ class WorkloadEngine:
             else:
                 raise ValueError(f"unknown event kind {event.kind!r}")
         result.final_active = active
+        stats_fn = getattr(self._simulator, "cache_stats", None)
+        if callable(stats_fn):
+            result.cache_stats = stats_fn()
         return result
 
     def _arrive(self, event, heap, sequence) -> Optional[float]:

@@ -1,15 +1,25 @@
 """Tests for topology generators and instance sampling."""
 
+import math
+import random
+
 import pytest
 
 from repro import ServiceChain
 from repro.topology import (
     cogent_network,
     erdos_renyi_network,
+    fabric_network,
     geographic_network,
     inet_network,
     softlayer_network,
     waxman_network,
+)
+from repro.topology.generators import (
+    _GRID_MST_THRESHOLD,
+    _dist,
+    _euclidean_mst_edges,
+    _euclidean_mst_edges_grid,
 )
 
 
@@ -139,3 +149,104 @@ def test_overlapping_sets_when_topology_small():
     )
     assert len(inst.sources) == 26
     assert len(inst.destinations) == 6
+
+
+# ----------------------------------------------------------------------
+# large-n spatial-grid path (>= _GRID_MST_THRESHOLD nodes)
+# ----------------------------------------------------------------------
+def _mst_weight(points, edges):
+    return sum(_dist(points[i], points[j]) for i, j in edges)
+
+
+@pytest.mark.parametrize("n,seed", [(50, 0), (200, 1), (700, 2)])
+def test_grid_mst_matches_exact_mst_weight(n, seed):
+    rng = random.Random(seed)
+    points = [(rng.random(), rng.random()) for _ in range(n)]
+    exact = _mst_weight(points, _euclidean_mst_edges(points))
+    grid, _ = _euclidean_mst_edges_grid(points)
+    assert len(grid) == n - 1
+    assert _mst_weight(points, grid) == pytest.approx(exact, rel=1e-12)
+
+
+def test_grid_mst_stitches_clustered_points():
+    # Two far-apart dense clusters: the k-NN graph alone leaves them
+    # disconnected, forcing the deterministic stitching loop.
+    rng = random.Random(7)
+    points = [(rng.random(), rng.random()) for _ in range(60)]
+    points += [(100.0 + rng.random(), 100.0 + rng.random()) for _ in range(60)]
+    exact = _mst_weight(points, _euclidean_mst_edges(points))
+    grid, _ = _euclidean_mst_edges_grid(points)
+    assert len(grid) == len(points) - 1
+    assert _mst_weight(points, grid) == pytest.approx(exact, rel=1e-12)
+
+
+def test_geographic_grid_path_counts_and_connectivity():
+    n = _GRID_MST_THRESHOLD + 176  # comfortably on the grid path
+    net = geographic_network("big", n, 2 * n, 100, seed=5)
+    assert net.num_nodes == n
+    assert net.num_links == 2 * n
+    assert len(net.datacenters) == 100
+    assert net.graph.is_connected()
+
+
+def test_geographic_grid_path_deterministic():
+    n = _GRID_MST_THRESHOLD
+    a = geographic_network("big", n, n + 500, 50, seed=6)
+    b = geographic_network("big", n, n + 500, 50, seed=6)
+    assert sorted(a.graph.edges()) == sorted(b.graph.edges())
+    assert a.datacenters == b.datacenters
+    c = geographic_network("big", n, n + 500, 50, seed=7)
+    assert sorted(a.graph.edges()) != sorted(c.graph.edges())
+
+
+def test_geographic_grid_path_adaptive_k():
+    # Demanding ~6 links per node exhausts the k=8 candidate pool (half
+    # the k-NN pairs are MST edges), forcing at least one k-doubling.
+    n = _GRID_MST_THRESHOLD
+    net = geographic_network("dense", n, 6 * n, 10, seed=8)
+    assert net.num_links == 6 * n
+    assert net.graph.is_connected()
+
+
+# ----------------------------------------------------------------------
+# fabric (leaf--spine) generator
+# ----------------------------------------------------------------------
+def test_fabric_structure_and_determinism():
+    net = fabric_network(num_nodes=5000, seed=3)
+    assert net.num_nodes == 5000
+    assert net.graph.is_connected()
+    num_spines = max(2, round(5000 ** (1.0 / 3.0)))
+    num_leaves = max(2, round(math.sqrt(5000)))
+    first_host = num_spines + num_leaves
+    # Data centers sit on hosts only, never on switches.
+    assert all(dc >= first_host for dc in net.datacenters)
+    again = fabric_network(num_nodes=5000, seed=3)
+    assert sorted(net.graph.edges()) == sorted(again.graph.edges())
+    assert net.datacenters == again.datacenters
+    other = fabric_network(num_nodes=5000, seed=4)
+    assert net.datacenters != other.datacenters
+
+
+def test_fabric_hosts_within_four_hops():
+    net = fabric_network(num_nodes=300, num_datacenters=5, seed=0)
+    graph = net.graph
+    start = net.datacenters[0]
+    hops = {start: 0}
+    frontier = [start]
+    while frontier:
+        nxt = []
+        for u in frontier:
+            for v, _ in graph.neighbor_items(u):
+                if v not in hops:
+                    hops[v] = hops[u] + 1
+                    nxt.append(v)
+        frontier = nxt
+    assert len(hops) == 300
+    assert max(hops.values()) <= 4
+
+
+def test_fabric_validates_arguments():
+    with pytest.raises(ValueError):
+        fabric_network(num_nodes=7)
+    with pytest.raises(ValueError):
+        fabric_network(num_nodes=300, num_datacenters=10_000)
