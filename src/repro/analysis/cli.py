@@ -1,0 +1,108 @@
+"""CLI for the invariant linter: ``python -m repro.analysis``.
+
+Also reachable as ``repro analysis`` from the installed entry point
+(mirroring the ``workload`` subcommand pattern).
+
+Exit status: 0 when clean (or when not ``--strict``), 1 when ``--strict``
+and any non-baselined, non-suppressed finding remains.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import List, Optional
+
+from repro.analysis import (
+    Baseline, all_rules, analyze, default_baseline_path,
+)
+
+
+def build_arg_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.analysis",
+        description="AST-based invariant linter (determinism, oracle, "
+                    "flag-threading, fork-safety rules)",
+    )
+    parser.add_argument(
+        "paths", nargs="*", default=["src", "tests"],
+        help="files or directories to lint (default: src tests)",
+    )
+    parser.add_argument(
+        "--strict", action="store_true",
+        help="exit non-zero on any non-baselined finding (the CI mode)",
+    )
+    parser.add_argument(
+        "--json", action="store_true", dest="as_json",
+        help="machine-readable JSON output for tooling",
+    )
+    parser.add_argument(
+        "--baseline", action="store_true", dest="write_baseline",
+        help="rewrite the baseline file from the current findings "
+             "(existing justifications are kept; new entries get a TODO)",
+    )
+    parser.add_argument(
+        "--baseline-file", default=default_baseline_path(), metavar="PATH",
+        help="baseline JSON to read (and write with --baseline); "
+             "default: the committed repro/analysis/baseline.json",
+    )
+    parser.add_argument(
+        "--no-baseline", action="store_true",
+        help="ignore the baseline (report grandfathered findings too)",
+    )
+    parser.add_argument(
+        "--list-rules", action="store_true",
+        help="list every rule id and exit",
+    )
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_arg_parser().parse_args(argv)
+
+    if args.list_rules:
+        for rule in all_rules():
+            origin = f"  ({rule.origin})" if rule.origin else ""
+            print(f"{rule.rule_id:24s} {rule.summary}{origin}")
+        return 0
+
+    baseline = (
+        Baseline() if args.no_baseline else Baseline.load(args.baseline_file)
+    )
+    result = analyze(args.paths, baseline=baseline)
+
+    if args.write_baseline:
+        baseline.path = args.baseline_file
+        baseline.write(result.findings + result.baselined)
+        print(f"wrote {len(baseline.entries)} baseline entries to "
+              f"{args.baseline_file}")
+        return 0
+
+    if args.as_json:
+        payload = {
+            "checked_files": result.checked_files,
+            "strict": args.strict,
+            "clean": result.clean,
+            "suppressed": result.suppressed,
+            "findings": [f.to_json() for f in result.findings],
+            "baselined": [f.to_json() for f in result.baselined],
+        }
+        print(json.dumps(payload, indent=2))
+    else:
+        for finding in result.findings:
+            print(finding.render())
+        summary = (
+            f"{len(result.findings)} finding(s) in {result.checked_files} "
+            f"file(s) ({len(result.baselined)} baselined, "
+            f"{result.suppressed} suppressed)"
+        )
+        print(summary if result.findings else f"clean: {summary}")
+
+    if args.strict and result.findings:
+        return 1
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,404 @@
+"""Checker framework for the invariant linter.
+
+The linter is a thin orchestration layer over two checker shapes:
+
+- :class:`Checker` -- per-file AST visitors.  Each parsed file is handed
+  to every registered per-file checker, which yields :class:`Finding`
+  objects.
+- :class:`ProjectChecker` -- whole-tree checkers that need to see every
+  parsed file at once (the flag-threading rule correlates
+  ``FrozenOracle.__init__`` with call sites in five other modules).
+
+Findings are post-filtered by two mechanisms:
+
+- **Inline suppressions** -- a ``# repro-lint: disable=<rule>[,<rule>]``
+  comment on the offending line (or on a standalone comment line
+  directly above it) silences those rules for that line.
+  ``disable=all`` silences every rule.
+- **Baseline** -- ``baseline.json`` next to this module holds
+  grandfathered findings that were triaged as intentional, keyed by
+  ``(rule, path, symbol)`` with a one-line justification each.  Strict
+  mode fails only on findings *not* covered by the baseline.
+
+Everything here is stdlib-only (``ast`` + ``json``); the linter adds no
+runtime dependency.
+"""
+
+from __future__ import annotations
+
+import ast
+import json
+import os
+import re
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Set, Tuple
+
+#: Path segments that mark a module as part of the deterministic solver
+#: pipeline (the scope of the determinism rules).  Classification is by
+#: directory name so fixture trees in tests behave like the real layout.
+SOLVER_SEGMENTS = frozenset({
+    "graph", "core", "online", "workload", "distributed",
+    "baselines", "costmodel", "topology", "solver",
+})
+
+#: Rule ids only (kebab-case, comma-separated); anything after the id
+#: list -- e.g. a ``-- why`` justification -- is not part of it.
+_SUPPRESS_RE = re.compile(
+    r"#\s*repro-lint:\s*disable="
+    r"([A-Za-z0-9_-]+(?:\s*,\s*[A-Za-z0-9_-]+)*)"
+)
+
+
+@dataclass(frozen=True)
+class Rule:
+    """Metadata for one lint rule."""
+
+    rule_id: str
+    summary: str
+    #: Which PR's bugfix this rule encodes (documentation only).
+    origin: str = ""
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation at a source location."""
+
+    rule: str
+    path: str
+    line: int
+    col: int
+    symbol: str
+    message: str
+    severity: str = "error"
+
+    def render(self) -> str:
+        return (f"{self.path}:{self.line}:{self.col}: {self.rule} "
+                f"[{self.symbol}] {self.message}")
+
+    def to_json(self) -> Dict[str, object]:
+        return {
+            "rule": self.rule, "path": self.path, "line": self.line,
+            "col": self.col, "symbol": self.symbol,
+            "message": self.message, "severity": self.severity,
+        }
+
+
+class SourceFile:
+    """A parsed source file plus the lookup tables checkers share.
+
+    ``relpath`` is the path findings and baseline entries use: relative
+    to the current working directory when the file is under it (the CI
+    invocation), absolute otherwise (fixture trees under ``/tmp``).
+    """
+
+    def __init__(self, path: str, text: Optional[str] = None) -> None:
+        self.path = os.path.abspath(path)
+        self.relpath = _display_path(self.path)
+        if text is None:
+            with open(self.path, "r", encoding="utf-8") as handle:
+                text = handle.read()
+        self.text = text
+        self.lines = text.splitlines()
+        self.parse_error: Optional[SyntaxError] = None
+        try:
+            self.tree: Optional[ast.AST] = ast.parse(text, filename=self.path)
+        except SyntaxError as exc:
+            self.tree = None
+            self.parse_error = exc
+        self.suppressions = _parse_suppressions(self.lines)
+        self.parents: Dict[ast.AST, ast.AST] = {}
+        self.qualnames: Dict[ast.AST, str] = {}
+        if self.tree is not None:
+            _index_tree(self.tree, self.parents, self.qualnames)
+
+    # ------------------------------------------------------------------
+    @property
+    def roles(self) -> Set[str]:
+        """Module classification from path segments (posix-insensitive)."""
+        parts = [p.lower() for p in re.split(r"[\\/]", self.relpath) if p]
+        roles: Set[str] = set()
+        name = parts[-1] if parts else ""
+        if "tests" in parts or name.startswith("test_") or name == "conftest.py":
+            roles.add("tests")
+        if any(p in SOLVER_SEGMENTS for p in parts):
+            roles.add("solver")
+        if "experiments" in parts:
+            roles.add("experiments")
+        return roles
+
+    def qualname(self, node: ast.AST) -> str:
+        """Enclosing symbol of ``node`` (``Class.method`` or ``<module>``)."""
+        current: Optional[ast.AST] = node
+        while current is not None:
+            name = self.qualnames.get(current)
+            if name is not None:
+                return name
+            current = self.parents.get(current)
+        return "<module>"
+
+    def ancestors(self, node: ast.AST) -> Iterator[ast.AST]:
+        current = self.parents.get(node)
+        while current is not None:
+            yield current
+            current = self.parents.get(current)
+
+    def is_suppressed(self, finding: Finding) -> bool:
+        rules = self.suppressions.get(finding.line)
+        return bool(rules) and (finding.rule in rules or "all" in rules)
+
+    def finding(self, rule: str, node: ast.AST, message: str) -> Finding:
+        return Finding(
+            rule=rule, path=self.relpath,
+            line=getattr(node, "lineno", 1), col=getattr(node, "col_offset", 0),
+            symbol=self.qualname(node), message=message,
+        )
+
+
+def _display_path(abspath: str) -> str:
+    cwd = os.getcwd()
+    try:
+        rel = os.path.relpath(abspath, cwd)
+    except ValueError:  # different drive on windows
+        return abspath.replace(os.sep, "/")
+    if rel.startswith(".."):
+        return abspath.replace(os.sep, "/")
+    return rel.replace(os.sep, "/")
+
+
+def _parse_suppressions(lines: Sequence[str]) -> Dict[int, Set[str]]:
+    out: Dict[int, Set[str]] = {}
+    for i, line in enumerate(lines, start=1):
+        match = _SUPPRESS_RE.search(line)
+        if not match:
+            continue
+        rules = {r.strip() for r in match.group(1).split(",") if r.strip()}
+        out.setdefault(i, set()).update(rules)
+        if line.lstrip().startswith("#"):
+            # A standalone suppression comment covers the next code line:
+            # skip past the rest of its (possibly multi-line) comment
+            # block so the justification can wrap.
+            j = i + 1
+            while j <= len(lines) and lines[j - 1].lstrip().startswith("#"):
+                j += 1
+            out.setdefault(j, set()).update(rules)
+    return out
+
+
+def _index_tree(
+    tree: ast.AST,
+    parents: Dict[ast.AST, ast.AST],
+    qualnames: Dict[ast.AST, str],
+) -> None:
+    def visit(node: ast.AST, stack: Tuple[str, ...]) -> None:
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+            stack = stack + (node.name,)
+            qualnames[node] = ".".join(stack)
+        for child in ast.iter_child_nodes(node):
+            parents[child] = node
+            visit(child, stack)
+
+    visit(tree, ())
+
+
+# ----------------------------------------------------------------------
+# checker registry
+# ----------------------------------------------------------------------
+
+class Checker:
+    """Per-file checker: override :meth:`check`."""
+
+    rules: Tuple[Rule, ...] = ()
+
+    def check(self, source: SourceFile) -> Iterator[Finding]:  # pragma: no cover
+        raise NotImplementedError
+
+
+class ProjectChecker:
+    """Whole-tree checker: override :meth:`check_project`."""
+
+    rules: Tuple[Rule, ...] = ()
+
+    def check_project(
+        self, sources: Sequence[SourceFile]
+    ) -> Iterator[Finding]:  # pragma: no cover
+        raise NotImplementedError
+
+
+PARSE_ERROR = Rule(
+    "parse-error", "file does not parse under the running interpreter",
+)
+
+
+# ----------------------------------------------------------------------
+# baseline
+# ----------------------------------------------------------------------
+
+@dataclass
+class Baseline:
+    """Grandfathered findings keyed by ``(rule, path, symbol)``.
+
+    Matching ignores line numbers on purpose: a baseline entry pins a
+    *triaged* violation inside one symbol, and unrelated edits above it
+    must not resurrect the finding.  Adding a second violation of the
+    same rule in the same symbol therefore also slips through -- the
+    README documents why entries should stay rare and justified.
+    """
+
+    path: Optional[str] = None
+    entries: Dict[Tuple[str, str, str], str] = field(default_factory=dict)
+
+    @classmethod
+    def load(cls, path: Optional[str]) -> "Baseline":
+        baseline = cls(path=path)
+        if path and os.path.exists(path):
+            with open(path, "r", encoding="utf-8") as handle:
+                data = json.load(handle)
+            for entry in data.get("entries", []):
+                key = (entry["rule"], entry["path"], entry["symbol"])
+                baseline.entries[key] = entry.get("justification", "")
+        return baseline
+
+    def covers(self, finding: Finding) -> bool:
+        return (finding.rule, finding.path, finding.symbol) in self.entries
+
+    def write(self, findings: Iterable[Finding]) -> None:
+        assert self.path is not None
+        merged: Dict[Tuple[str, str, str], str] = {}
+        for f in findings:
+            key = (f.rule, f.path, f.symbol)
+            merged[key] = self.entries.get(key, "TODO: justify this entry")
+        payload = {
+            "version": 1,
+            "entries": [
+                {
+                    "rule": rule, "path": path, "symbol": symbol,
+                    "justification": justification,
+                }
+                for (rule, path, symbol), justification in sorted(merged.items())
+            ],
+        }
+        with open(self.path, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle, indent=2, sort_keys=False)
+            handle.write("\n")
+        self.entries = merged
+
+
+# ----------------------------------------------------------------------
+# runner
+# ----------------------------------------------------------------------
+
+@dataclass
+class AnalysisResult:
+    """The full outcome of one linter run."""
+
+    findings: List[Finding] = field(default_factory=list)
+    baselined: List[Finding] = field(default_factory=list)
+    suppressed: int = 0
+    checked_files: int = 0
+
+    @property
+    def clean(self) -> bool:
+        return not self.findings
+
+
+def collect_files(paths: Sequence[str]) -> List[str]:
+    """Expand ``paths`` (files or directories) into sorted ``.py`` files."""
+    out: Set[str] = set()
+    for path in paths:
+        if os.path.isdir(path):
+            for dirpath, dirnames, filenames in os.walk(path):
+                dirnames[:] = sorted(
+                    d for d in dirnames
+                    if not d.startswith(".") and d != "__pycache__"
+                )
+                for name in sorted(filenames):
+                    if name.endswith(".py"):
+                        out.add(os.path.abspath(os.path.join(dirpath, name)))
+        elif path.endswith(".py"):
+            out.add(os.path.abspath(path))
+    return sorted(out)
+
+
+def run_analysis(
+    paths: Sequence[str],
+    checkers: Sequence[Checker],
+    project_checkers: Sequence[ProjectChecker] = (),
+    baseline: Optional[Baseline] = None,
+) -> AnalysisResult:
+    """Lint ``paths`` and split findings into active/baselined/suppressed."""
+    result = AnalysisResult()
+    baseline = baseline or Baseline()
+    sources: List[SourceFile] = []
+    raw: List[Tuple[SourceFile, Finding]] = []
+    for path in collect_files(paths):
+        source = SourceFile(path)
+        sources.append(source)
+        result.checked_files += 1
+        if source.parse_error is not None:
+            err = source.parse_error
+            raw.append((source, Finding(
+                rule=PARSE_ERROR.rule_id, path=source.relpath,
+                line=err.lineno or 1, col=(err.offset or 1) - 1,
+                symbol="<module>", message=f"syntax error: {err.msg}",
+            )))
+            continue
+        for checker in checkers:
+            for finding in checker.check(source):
+                raw.append((source, finding))
+    by_path = {s.relpath: s for s in sources}
+    for project_checker in project_checkers:
+        for finding in project_checker.check_project(sources):
+            raw.append((by_path.get(finding.path), finding))
+
+    for source, finding in raw:
+        if source is not None and source.is_suppressed(finding):
+            result.suppressed += 1
+        elif baseline.covers(finding):
+            result.baselined.append(finding)
+        else:
+            result.findings.append(finding)
+    result.findings.sort(key=lambda f: (f.path, f.line, f.col, f.rule))
+    result.baselined.sort(key=lambda f: (f.path, f.line, f.col, f.rule))
+    return result
+
+
+# ----------------------------------------------------------------------
+# small shared AST helpers
+# ----------------------------------------------------------------------
+
+def call_name(node: ast.Call) -> str:
+    """Trailing name of a call's callee (``a.b.fn(...)`` -> ``fn``)."""
+    func = node.func
+    if isinstance(func, ast.Name):
+        return func.id
+    if isinstance(func, ast.Attribute):
+        return func.attr
+    return ""
+
+
+def dotted_base(node: ast.expr) -> str:
+    """Leftmost name of a dotted expression (``a.b.c`` -> ``a``)."""
+    while isinstance(node, ast.Attribute):
+        node = node.value
+    if isinstance(node, ast.Name):
+        return node.id
+    return ""
+
+
+def module_aliases(tree: ast.AST, module: str) -> Tuple[Set[str], Dict[str, str]]:
+    """Local names bound to ``module`` and to names imported from it.
+
+    Returns ``(module_aliases, member_aliases)`` where ``member_aliases``
+    maps local name -> original member name.
+    """
+    mods: Set[str] = set()
+    members: Dict[str, str] = {}
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                if alias.name == module:
+                    mods.add(alias.asname or alias.name)
+        elif isinstance(node, ast.ImportFrom) and node.module == module:
+            for alias in node.names:
+                members[alias.asname or alias.name] = alias.name
+    return mods, members

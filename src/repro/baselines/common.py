@@ -61,6 +61,8 @@ def greedy_chain(
     for vnf in range(count):
         best_vm = None
         best_score = float("inf")
+        # repro-lint: disable=det-set-iter -- the repr tie-break below
+        # makes the arg-min independent of scan order.
         for vm in pool:
             d = distance(current, vm)
             if d == float("inf"):

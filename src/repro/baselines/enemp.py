@@ -89,6 +89,8 @@ def _anchored_greedy_chain(
     for vnf in range(num_functions - 1):
         best_vm = None
         best_score = float("inf")
+        # repro-lint: disable=det-set-iter -- the repr tie-break below
+        # makes the arg-min independent of scan order.
         for vm in pool:
             d = oracle.distance(current, vm)
             tail = oracle.distance(vm, anchor)

@@ -8,6 +8,8 @@ Commands map one-to-one onto the evaluation artefacts:
 - ``workload``  -- run a tenant-churn workload (arrivals, holding-time
   departures, optional background churn) through the online simulator,
   with JSONL trace record/replay.
+- ``analysis``  -- run the AST-based invariant linter
+  (:mod:`repro.analysis`) over the source tree.
 
 All output is plain text in the paper's row/series format, so results can
 be diffed across runs.
@@ -275,6 +277,23 @@ def _cmd_table2(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_analysis(args: argparse.Namespace) -> int:
+    from repro.analysis.cli import main as analysis_main
+
+    argv: List[str] = list(args.paths)
+    if args.strict:
+        argv.append("--strict")
+    if args.as_json:
+        argv.append("--json")
+    if args.no_baseline:
+        argv.append("--no-baseline")
+    if args.baseline_file is not None:
+        argv.extend(["--baseline-file", args.baseline_file])
+    if args.list_rules:
+        argv.append("--list-rules")
+    return analysis_main(argv)
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Construct the CLI argument parser."""
     parser = argparse.ArgumentParser(
@@ -385,6 +404,24 @@ def build_parser() -> argparse.ArgumentParser:
     table2 = sub.add_parser("table2", help="testbed QoE")
     table2.add_argument("--trials", type=int, default=20)
     table2.set_defaults(func=_cmd_table2)
+
+    analysis = sub.add_parser(
+        "analysis",
+        help="AST invariant linter (determinism/oracle/flag/fork rules)",
+    )
+    analysis.add_argument("paths", nargs="*", default=[],
+                          help="files or directories (default: src tests)")
+    analysis.add_argument("--strict", action="store_true",
+                          help="exit non-zero on any non-baselined finding")
+    analysis.add_argument("--json", action="store_true", dest="as_json",
+                          help="machine-readable JSON output")
+    analysis.add_argument("--no-baseline", action="store_true",
+                          help="ignore the committed baseline")
+    analysis.add_argument("--baseline-file", default=None, metavar="PATH",
+                          help="alternate baseline JSON")
+    analysis.add_argument("--list-rules", action="store_true",
+                          help="list every rule id and exit")
+    analysis.set_defaults(func=_cmd_analysis)
     return parser
 
 

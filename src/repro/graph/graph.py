@@ -164,11 +164,17 @@ class Graph:
     def subgraph(self, nodes: Iterable[Node]) -> "Graph":
         """Return the subgraph induced by ``nodes``."""
         keep = set(nodes)
+        missing = keep.difference(self._adj)
+        if missing:
+            node = min(missing, key=repr)
+            raise KeyError(f"node {node!r} not in graph")
         sub = Graph()
-        for node in keep:
-            if node not in self._adj:
-                raise KeyError(f"node {node!r} not in graph")
-            sub.add_node(node)
+        # Enumerate in the parent graph's (deterministic) insertion order,
+        # not set order: the subgraph's node order seeds downstream index
+        # interning and must not vary with PYTHONHASHSEED.
+        for node in self._adj:
+            if node in keep:
+                sub.add_node(node)
         for u, v, cost in self.edges():
             if u in keep and v in keep:
                 sub.add_edge(u, v, cost)

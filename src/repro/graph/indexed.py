@@ -2104,7 +2104,9 @@ class FrozenOracle:
                 self.invalidate()
             return
         index = self._core.index
-        self._hot_ids.extend(index[n] for n in fresh if n in index)
+        # Sorted so the target list is hash-seed-independent; dijkstra
+        # flattens targets into per-id flags, so order never reaches rows.
+        self._hot_ids.extend(sorted(index[n] for n in fresh if n in index))
 
     def invalidate(self) -> None:
         """Drop all cached state (call after mutating the graph)."""
@@ -2482,7 +2484,9 @@ class FrozenOracle:
             live_rows = sum(1 for row in rows.values() if row.used)
             counts: Dict[int, int] = {}
             for roots in general_roots.values():
-                for c in set(roots):
+                # dict.fromkeys dedups a row's roots in first-appearance
+                # order (set order would be hash-bucket order).
+                for c in dict.fromkeys(roots):
                     counts[c] = counts.get(c, 0) + 1
             threshold = max(
                 PLANNER_SHARE_MIN_ROWS, PLANNER_SHARE_DENSITY * live_rows

@@ -311,6 +311,9 @@ def inet_network(
             attempts += 1
         if not targets:
             targets = {rng.randrange(node)}
+        # repro-lint: disable=det-set-iter -- targets holds small ints,
+        # which hash to themselves: iteration order is salt-independent,
+        # and reordering would shift the pinned bench topologies.
         for t in targets:
             graph.add_edge(node, t, 1.0)
             endpoints.append(node)
