@@ -57,6 +57,14 @@ tracks the *repo's own* performance trajectory.  It measures:
   still match the unbounded reference bit-for-bit: drift exactly 0.0 and
   identical acceptance decisions, because evicted rows recompute to
   identical labels;
+- ``online_churn_phases`` / ``online_many_rows_phases``: per-phase
+  attribution (build / repair / query / fork seconds, via the
+  :mod:`repro.obs` registry's ``phase_breakdown``) from one metrics-on
+  replay of each tracked trace.  The recorder never rides inside a timed
+  window -- the strict anchors stay metrics-off -- and the metered
+  replays double as the observability layer's bit-identical check
+  (``online_churn_metrics_drift`` / ``online_many_rows_metrics_drift``
+  must be exactly 0.0 with identical acceptance decisions);
 - ``sweep_slice_s`` / ``sweep_serial_s``: a small ``run_sweep`` slice with
   ``workers=4`` vs serial (speedup needs a multi-core runner; single-core
   CI only checks the outputs match);
@@ -164,7 +172,8 @@ def _run_online_trace(incremental: bool):
 
 
 def _run_many_rows_trace(
-    planner: bool, parallel_rows: int = 0, vectorized: bool = False
+    planner: bool, parallel_rows: int = 0, vectorized: bool = False,
+    metrics=None,
 ):
     """Replay 4 light requests against a 1250-VM pool.
 
@@ -182,7 +191,7 @@ def _run_many_rows_trace(
     )
     simulator = OnlineSimulator(
         network, vms_per_datacenter=5, incremental=True, planner=planner,
-        parallel_rows=parallel_rows, vectorized=vectorized,
+        parallel_rows=parallel_rows, vectorized=vectorized, metrics=metrics,
     )
     generator = RequestGenerator(
         network, seed=0, destinations_range=(2, 3), sources_range=(1, 1),
@@ -359,7 +368,7 @@ def _churn_schedule(network):
     )
 
 
-def _run_churn_trace(incremental: bool):
+def _run_churn_trace(incremental: bool, metrics=None):
     """Replay the tenant-churn workload through one oracle mode.
 
     Setup (topology, simulator, schedule build) and the cold VM-pool row
@@ -372,7 +381,8 @@ def _run_churn_trace(incremental: bool):
 
     network = _churn_network()
     simulator = OnlineSimulator(
-        network, vms_per_datacenter=5, incremental=incremental
+        network, vms_per_datacenter=5, incremental=incremental,
+        metrics=metrics,
     )
     schedule = _churn_schedule(network)
     engine = WorkloadEngine(simulator, lambda inst: sofda(inst).forest)
@@ -672,6 +682,31 @@ def run_perf_core() -> dict:
         failures_patched, elapsed = _run_failure_trace(incremental=True)
         failures_patch_s = min(failures_patch_s, elapsed)
 
+    # Per-phase attribution: one metrics-on pass per tracked trace.  The
+    # recorder never rides inside the timed windows above (the strict
+    # anchors stay metrics-off, so the zero-overhead-off invariant is
+    # what the ratios measure); these passes feed the ``*_phases`` keys
+    # and double as the observability layer's bit-identical check on
+    # real traces.
+    from repro.obs import MetricsRegistry, Recorder, phase_breakdown
+
+    churn_recorder = Recorder(registry=MetricsRegistry())
+    churn_metered, _ = _run_churn_trace(
+        incremental=True, metrics=churn_recorder
+    )
+    many_rows_recorder = Recorder(registry=MetricsRegistry())
+    metered_costs, _ = _run_many_rows_trace(
+        planner=True, metrics=many_rows_recorder
+    )
+    churn_phases = {
+        k: round(v, 4)
+        for k, v in phase_breakdown(churn_recorder.snapshot()).items()
+    }
+    many_rows_phases = {
+        k: round(v, 4)
+        for k, v in phase_breakdown(many_rows_recorder.snapshot()).items()
+    }
+
     # Budgeted-vs-unbounded 50k-node churn: the memory-bounded-scale
     # acceptance metric.  One run each (the metric is bounded residency
     # with zero drift, not a speed ratio; the timings are informational).
@@ -763,6 +798,22 @@ def run_perf_core() -> dict:
         ),
         "online_failures_rerouted": failures_patched.rerouted,
         "online_failures_disrupted": failures_patched.disrupted,
+        "online_churn_phases": churn_phases,
+        "online_many_rows_phases": many_rows_phases,
+        "online_churn_metrics_drift": max(
+            abs(a - b)
+            for a, b in zip(
+                churn_metered.per_request_cost, churn_patched.per_request_cost
+            )
+        ),
+        "online_churn_metrics_decisions_match": (
+            [c is None for c in churn_metered.per_request_cost]
+            == [c is None for c in churn_patched.per_request_cost]
+            and churn_metered.departures == churn_patched.departures
+        ),
+        "online_many_rows_metrics_drift": max(
+            abs(a - b) for a, b in zip(metered_costs, planner_costs)
+        ),
         "online_budget_s": round(budget_bounded_s, 4),
         "online_budget_unbounded_s": round(budget_unbounded_s, 4),
         "online_budget_nodes": _BUDGET_NODES,
@@ -864,6 +915,17 @@ def test_perf_core(once):
         f" {measured['online_failures_disrupted']} disrupted)"
     )
     print(
+        "  phase breakdown (metrics-on replays): churn "
+        + " ".join(
+            f"{k}={v}s" for k, v in measured["online_churn_phases"].items()
+        )
+        + "; many-rows "
+        + " ".join(
+            f"{k}={v}s"
+            for k, v in measured["online_many_rows_phases"].items()
+        )
+    )
+    print(
         f"  budget trace ({measured['online_budget_nodes']} nodes):"
         f" unbounded {measured['online_budget_unbounded_s']}s"
         f" (peak {measured['online_budget_unbounded_peak_bytes']} B)"
@@ -939,6 +1001,14 @@ def test_perf_core(once):
         or abs(measured["online_churn_cost"] - seed["online_churn_cost"])
         <= 1e-6
     )
+    # The recorder only observes (one falsy check per seam when off,
+    # clock reads + dict bumps when on), so the metered replays must not
+    # diverge from their metrics-off twins by even an ulp.
+    metrics_ok = (
+        measured["online_churn_metrics_drift"] == 0.0
+        and measured["online_churn_metrics_decisions_match"]
+        and measured["online_many_rows_metrics_drift"] == 0.0
+    )
     # Topology tombstone repairs serve the same shortest paths as a
     # rebuild over the mutated graph, so the failure trace must not
     # diverge in forest costs, acceptances, reroutes, or disruptions.
@@ -995,6 +1065,9 @@ def test_perf_core(once):
         )
         assert failures_baseline_ok, (
             "failure trace cost drifted from the baseline"
+        )
+        assert metrics_ok, (
+            "metrics-on replay diverged from the metrics-off reference"
         )
         assert budget_ok, (
             "budgeted 50k-node churn trace drifted from the unbounded "
@@ -1067,6 +1140,8 @@ def test_perf_core(once):
         measured["online_failures_s"] * 1.2
         <= measured["online_failures_invalidate_s"],
     )
+    shape_check("metrics-on replay: drift exactly 0.0 and identical "
+                "acceptance decisions vs metrics-off", metrics_ok)
     shape_check("budget trace: budgeted == unbounded, drift exactly 0.0 "
                 "and identical acceptance decisions", budget_ok)
     shape_check(

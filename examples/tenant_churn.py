@@ -11,7 +11,15 @@ SOFDA and the eST baseline, and the acceptance-rate / cost race is
 printed per day quarter.
 
 Run with:  python examples/tenant_churn.py
+
+Pass ``--trace-out churn.jsonl`` to run the same workload with the
+observability layer on: a span trace (Chrome trace-event JSONL) is
+written for ``repro obs convert`` / chrome://tracing, and the per-phase
+time breakdown is printed.  Results are bit-identical either way -- the
+recorder only observes.
 """
+
+import argparse
 
 from repro import sofda
 from repro.baselines import est_baseline
@@ -31,7 +39,7 @@ BASE_RATE = 0.6  # arrivals per hour at the diurnal midline
 HOLD_MEAN = 7.0  # mean tenant lifetime in hours
 
 
-def main() -> None:
+def main(trace_out: str = None) -> None:
     factory = lambda: softlayer_network(seed=3)  # noqa: E731
     network = factory()
     generator = RequestGenerator(network, seed=11,
@@ -49,10 +57,19 @@ def main() -> None:
     print(f"Diurnal trace on {network}: {len(arrivals)} arrivals over "
           f"{HORIZON:.0f} h (mean hold {HOLD_MEAN:.0f} h)\n")
 
+    recorder = None
+    simulator_kwargs = {}
+    if trace_out is not None:
+        from repro.obs import MetricsRegistry, Recorder, SpanTracer
+
+        recorder = Recorder(registry=MetricsRegistry(), tracer=SpanTracer())
+        simulator_kwargs["metrics"] = recorder
+
     results = run_churn_comparison(
         factory,
         {"SOFDA": lambda inst: sofda(inst).forest, "eST": est_baseline},
         schedule,
+        **simulator_kwargs,
     )
 
     print(f"{'algo':6s} {'accept':>6s} {'reject':>6s} {'rate':>7s} "
@@ -75,6 +92,21 @@ def main() -> None:
     print(f"\nLowest total cost at equal acceptance: {best} "
           f"({results[best].total_cost:.1f})")
 
+    if recorder is not None:
+        from repro.obs import phase_breakdown, write_trace_events
+
+        write_trace_events(recorder.tracer.events, trace_out)
+        print(f"\nwrote {len(recorder.tracer.events)} spans to {trace_out}")
+        print("convert for chrome://tracing with: "
+              f"python -m repro obs convert {trace_out} -o trace.json")
+        print("per-phase time:")
+        for phase, seconds in phase_breakdown(recorder.snapshot()).items():
+            print(f"  {phase:8s} {seconds:10.4f}s")
+
 
 if __name__ == "__main__":
-    main()
+    parser = argparse.ArgumentParser(description=__doc__.split("\n")[0])
+    parser.add_argument("--trace-out", default=None, metavar="PATH",
+                        help="write a span trace (Chrome trace-event "
+                             "JSONL) to PATH")
+    main(trace_out=parser.parse_args().trace_out)

@@ -17,6 +17,7 @@ Rule families (see each module's docstring and ``README.md`` here):
 - :mod:`~repro.analysis.flags` -- ``thread-oracle-flag``.
 - :mod:`~repro.analysis.forksafety` -- ``fork-mutation-window``,
   ``fork-raw-pool``, ``fork-worker-order``.
+- :mod:`~repro.analysis.obsguard` -- ``obs-null-guard``.
 
 Suppress one finding inline with ``# repro-lint: disable=<rule>`` plus a
 reason; grandfather a triaged finding in ``baseline.json`` with a
@@ -42,6 +43,7 @@ from repro.analysis.framework import (
     SourceFile,
     run_analysis,
 )
+from repro.analysis.obsguard import ObsGuardChecker
 from repro.analysis.oracle import OracleChecker
 
 __all__ = [
@@ -56,7 +58,10 @@ def default_baseline_path() -> str:
 
 
 def default_checkers() -> List[Checker]:
-    return [DeterminismChecker(), OracleChecker(), ForkSafetyChecker()]
+    return [
+        DeterminismChecker(), OracleChecker(), ForkSafetyChecker(),
+        ObsGuardChecker(),
+    ]
 
 
 def default_project_checkers() -> List[ProjectChecker]:

@@ -1,0 +1,111 @@
+"""Observability rule: hot paths time and record only via the recorder.
+
+PR 10 threaded a ``metrics=`` knob (an injectable
+:class:`~repro.obs.recorder.Recorder`) through the oracle, simulator,
+and workload stack, with the invariant that the disabled default is
+zero-overhead and bit-identical.  That invariant dies quietly the first
+time a solver module reads a clock or builds its own recorder outside
+the flag-gated discipline, so this rule polices both:
+
+- ``obs-null-guard`` -- inside ``graph/``, ``online/``, or ``workload/``
+  solver modules, a raw ``time.perf_counter()`` / ``time.monotonic()`` /
+  ``time.process_time()`` call, or a direct construction of
+  ``MetricsRegistry`` / ``SpanTracer`` / ``Recorder``, is flagged.
+  Durations must come from the injected recorder's ``clock()`` behind an
+  ``if mx:`` guard (so the metrics-off path never reads time), and
+  recorders must be *injected* through the ``metrics=`` knob, never
+  built where the knob cannot turn them off.
+
+Experiment harness code (``experiments/``) keeps its raw
+``perf_counter`` timers -- measured runtimes are its output, not an
+optional observation -- and the :mod:`repro.obs` package itself is where
+the clock reads legitimately live; both are outside this rule's scope.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from typing import Iterator
+
+from repro.analysis.framework import (
+    Checker, Finding, Rule, SourceFile, call_name, dotted_base,
+    module_aliases,
+)
+
+NULL_GUARD = Rule(
+    "obs-null-guard",
+    "raw clock read or recorder construction in an instrumented solver "
+    "module (route through the injected obs recorder)",
+    origin="PR 10",
+)
+
+#: The path segments whose modules carry recorder-instrumented hot paths.
+_OBS_SEGMENTS = frozenset({"graph", "online", "workload"})
+
+#: ``time`` module duration clocks that must route through
+#: ``recorder.clock()`` in instrumented modules.
+_DURATION_CLOCKS = frozenset({
+    "perf_counter", "perf_counter_ns", "monotonic", "monotonic_ns",
+    "process_time", "process_time_ns",
+})
+
+#: Recorder-layer classes that must be injected, never built in place.
+_RECORDER_TYPES = frozenset({"MetricsRegistry", "SpanTracer", "Recorder"})
+
+
+class ObsGuardChecker(Checker):
+    rules = (NULL_GUARD,)
+
+    def check(self, source: SourceFile) -> Iterator[Finding]:
+        roles = source.roles
+        if "tests" in roles:
+            return
+        parts = [p.lower() for p in re.split(r"[\\/]", source.relpath) if p]
+        if not _OBS_SEGMENTS.intersection(parts):
+            return
+        tree = source.tree
+        assert tree is not None
+        time_mods, time_members = module_aliases(tree, "time")
+
+        for node in ast.walk(tree):
+            if not isinstance(node, ast.Call):
+                continue
+            yield from self._check_clock(
+                source, node, time_mods, time_members
+            )
+            yield from self._check_recorder_construction(source, node)
+
+    # ------------------------------------------------------------------
+    def _check_clock(
+        self, source: SourceFile, node: ast.Call, time_mods, time_members
+    ) -> Iterator[Finding]:
+        func = node.func
+        clock = None
+        if isinstance(func, ast.Attribute):
+            if dotted_base(func) in time_mods and func.attr in _DURATION_CLOCKS:
+                clock = func.attr
+        elif isinstance(func, ast.Name):
+            if time_members.get(func.id) in _DURATION_CLOCKS:
+                clock = time_members[func.id]
+        if clock is not None:
+            yield source.finding(
+                NULL_GUARD.rule_id, node,
+                f"raw time.{clock}() in an instrumented solver module; "
+                "read time through the injected recorder "
+                "('t0 = mx.clock() if mx else 0.0') so the metrics-off "
+                "path stays zero-overhead and bit-identical",
+            )
+
+    def _check_recorder_construction(
+        self, source: SourceFile, node: ast.Call
+    ) -> Iterator[Finding]:
+        name = call_name(node)
+        if name in _RECORDER_TYPES:
+            yield source.finding(
+                NULL_GUARD.rule_id, node,
+                f"{name}(...) constructed inside an instrumented solver "
+                "module; recorders must be injected through the "
+                "'metrics=' knob so observability stays flag-gated "
+                "(default off)",
+            )

@@ -10,6 +10,8 @@ Commands map one-to-one onto the evaluation artefacts:
   with JSONL trace record/replay.
 - ``analysis``  -- run the AST-based invariant linter
   (:mod:`repro.analysis`) over the source tree.
+- ``obs``       -- inspect/convert/validate span traces emitted by the
+  ``--trace-out`` flags (Chrome trace-event JSONL, :mod:`repro.obs`).
 
 All output is plain text in the paper's row/series format, so results can
 be diffed across runs.
@@ -79,6 +81,35 @@ def _cmd_solve(args: argparse.Namespace) -> int:
     return 0
 
 
+def _make_recorder(trace_out: Optional[str]):
+    """A live recorder when ``--trace-out`` was given, else ``None``.
+
+    ``None`` keeps every instrumented seam on its zero-overhead default
+    path, so untraced CLI runs stay bit-identical to pre-observability
+    behaviour.
+    """
+    if trace_out is None:
+        return None
+    from repro.obs import MetricsRegistry, Recorder, SpanTracer
+
+    return Recorder(registry=MetricsRegistry(), tracer=SpanTracer())
+
+
+def _finish_trace(recorder, trace_out: str) -> None:
+    """Write the span trace JSONL and print the per-phase breakdown."""
+    from repro.obs import phase_breakdown, write_trace_events
+
+    write_trace_events(recorder.tracer.events, trace_out)
+    print(f"\nwrote {len(recorder.tracer.events)} spans to {trace_out} "
+          "(repro obs convert -> chrome://tracing)")
+    breakdown = phase_breakdown(recorder.snapshot())
+    if any(breakdown.values()):
+        print("per-phase time (attribution views; fork time also nests "
+              "inside its dispatching phase):")
+        for phase, seconds in breakdown.items():
+            print(f"  {phase:8s} {seconds:10.4f}s")
+
+
 def _cmd_fig7(args: argparse.Namespace) -> int:
     for load, cost in fig7_cost_function(samples=args.samples):
         print(f"{load:8.4f} {cost:12.4f}")
@@ -92,38 +123,58 @@ def _print_panels(panels) -> None:
 
 
 def _cmd_fig8(args: argparse.Namespace) -> int:
-    _print_panels(fig8_softlayer(seeds=args.seeds, include_ilp=args.ilp))
+    recorder = _make_recorder(args.trace_out)
+    _print_panels(fig8_softlayer(
+        seeds=args.seeds, include_ilp=args.ilp, metrics=recorder,
+    ))
+    if recorder:
+        _finish_trace(recorder, args.trace_out)
     return 0
 
 
 def _cmd_fig9(args: argparse.Namespace) -> int:
-    _print_panels(fig9_cogent(seeds=args.seeds))
+    recorder = _make_recorder(args.trace_out)
+    _print_panels(fig9_cogent(seeds=args.seeds, metrics=recorder))
+    if recorder:
+        _finish_trace(recorder, args.trace_out)
     return 0
 
 
 def _cmd_fig10(args: argparse.Namespace) -> int:
+    recorder = _make_recorder(args.trace_out)
     _print_panels(fig10_inet(
         seeds=args.seeds, num_nodes=args.nodes,
         num_links=2 * args.nodes, num_datacenters=args.nodes // 3,
+        metrics=recorder,
     ))
+    if recorder:
+        _finish_trace(recorder, args.trace_out)
     return 0
 
 
 def _cmd_fig11(args: argparse.Namespace) -> int:
-    data = fig11_setup_cost(seeds=args.seeds)
+    recorder = _make_recorder(args.trace_out)
+    data = fig11_setup_cost(seeds=args.seeds, metrics=recorder)
     print("cost (rows: |C|, cols: multiples 1,3,5,7,9)")
     for length, series in data["cost"].items():
         print(f"  |C|={length}: " + "  ".join(f"{v:9.2f}" for v in series))
     print("used VMs")
     for length, series in data["vms"].items():
         print(f"  |C|={length}: " + "  ".join(f"{v:9.2f}" for v in series))
+    if recorder:
+        _finish_trace(recorder, args.trace_out)
     return 0
 
 
 def _cmd_fig12(args: argparse.Namespace) -> int:
-    series = fig12_online(topology=args.topology, num_requests=args.requests)
+    recorder = _make_recorder(args.trace_out)
+    series = fig12_online(
+        topology=args.topology, num_requests=args.requests, metrics=recorder,
+    )
     for name, acc in series.items():
         print(f"{name:8s} " + " ".join(f"{v:10.1f}" for v in acc))
+    if recorder:
+        _finish_trace(recorder, args.trace_out)
     return 0
 
 
@@ -221,6 +272,9 @@ def _cmd_workload(args: argparse.Namespace) -> int:
         simulator_kwargs["row_budget_bytes"] = int(
             args.row_budget_mb * 2 ** 20
         )
+    recorder = _make_recorder(args.trace_out)
+    if recorder:
+        simulator_kwargs["metrics"] = recorder
     results = run_churn_comparison(
         factory, embedders, schedule, **simulator_kwargs
     )
@@ -252,6 +306,8 @@ def _cmd_workload(args: argparse.Namespace) -> int:
                   f"peak={stats.get('peak_bytes', 0):>10d} "
                   f"evictions={stats.get('evictions', 0):6d} "
                   f"overshoots={stats.get('overshoots', 0):3d}")
+    if recorder:
+        _finish_trace(recorder, args.trace_out)
     return 0
 
 
@@ -277,6 +333,48 @@ def _cmd_table2(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_obs(args: argparse.Namespace) -> int:
+    from repro.obs import (
+        PHASE_GROUPS,
+        read_trace_events,
+        span_totals,
+        to_chrome_json,
+    )
+
+    try:
+        events = read_trace_events(args.trace)
+    except (OSError, ValueError) as exc:
+        print(f"{args.trace}: INVALID: {exc}", file=sys.stderr)
+        return 1
+    if args.action == "validate":
+        print(f"{args.trace}: valid ({len(events)} spans)")
+        return 0
+    if args.action == "convert":
+        payload = to_chrome_json(events)
+        if args.output:
+            with open(args.output, "w", encoding="utf-8") as handle:
+                handle.write(payload + "\n")
+            print(f"wrote {args.output} ({len(events)} spans); open it in "
+                  "chrome://tracing or https://ui.perfetto.dev")
+        else:
+            print(payload)
+        return 0
+    # summary: per-name totals, then the per-phase attribution views.
+    totals = span_totals(events)
+    print(f"{args.trace}: {len(events)} spans, {len(totals)} span names")
+    print(f"{'span':32s} {'total':>12s}")
+    for name, seconds in sorted(
+        totals.items(), key=lambda kv: (-kv[1], kv[0])
+    ):
+        print(f"{name:32s} {seconds:11.4f}s")
+    print("\nper-phase (attribution views; fork time also nests inside "
+          "its dispatching phase):")
+    for phase, names in PHASE_GROUPS.items():
+        seconds = sum(totals.get(n, 0.0) for n in names)
+        print(f"  {phase:8s} {seconds:10.4f}s")
+    return 0
+
+
 def _cmd_analysis(args: argparse.Namespace) -> int:
     from repro.analysis.cli import main as analysis_main
 
@@ -292,6 +390,15 @@ def _cmd_analysis(args: argparse.Namespace) -> int:
     if args.list_rules:
         argv.append("--list-rules")
     return analysis_main(argv)
+
+
+def _add_trace_out(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--trace-out", default=None, metavar="PATH",
+        help="enable observability and write a Chrome trace-event JSONL "
+             "span trace to PATH (default: observability off, "
+             "zero-overhead)",
+    )
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -327,21 +434,25 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument("--seeds", type=int, default=3)
         if extra:
             p.add_argument("--ilp", action="store_true")
+        _add_trace_out(p)
         p.set_defaults(func=fn)
 
     fig10 = sub.add_parser("fig10", help="Inet synthetic sweeps")
     fig10.add_argument("--seeds", type=int, default=2)
     fig10.add_argument("--nodes", type=int, default=500)
+    _add_trace_out(fig10)
     fig10.set_defaults(func=_cmd_fig10)
 
     fig11 = sub.add_parser("fig11", help="setup-cost sweeps")
     fig11.add_argument("--seeds", type=int, default=3)
+    _add_trace_out(fig11)
     fig11.set_defaults(func=_cmd_fig11)
 
     fig12 = sub.add_parser("fig12", help="online accumulative cost")
     fig12.add_argument("--topology", choices=["softlayer", "cogent"],
                        default="softlayer")
     fig12.add_argument("--requests", type=int, default=12)
+    _add_trace_out(fig12)
     fig12.set_defaults(func=_cmd_fig12)
 
     workload = sub.add_parser(
@@ -393,6 +504,7 @@ def build_parser() -> argparse.ArgumentParser:
                           help="bound oracle row-cache residency to MB "
                                "megabytes (cost-aware eviction; default "
                                "unbounded)")
+    _add_trace_out(workload)
     workload.set_defaults(func=_cmd_workload)
 
     table1 = sub.add_parser("table1", help="SOFDA runtime grid")
@@ -422,6 +534,20 @@ def build_parser() -> argparse.ArgumentParser:
     analysis.add_argument("--list-rules", action="store_true",
                           help="list every rule id and exit")
     analysis.set_defaults(func=_cmd_analysis)
+
+    obs = sub.add_parser(
+        "obs", help="inspect span traces written by --trace-out"
+    )
+    obs.add_argument("action", choices=["summary", "convert", "validate"],
+                     help="summary: per-span totals and phase breakdown; "
+                          "convert: JSONL -> chrome://tracing JSON; "
+                          "validate: schema-check the trace")
+    obs.add_argument("trace", metavar="TRACE",
+                     help="trace-event JSONL file (from --trace-out)")
+    obs.add_argument("-o", "--output", default=None, metavar="PATH",
+                     help="convert: write the Chrome JSON here instead of "
+                          "stdout")
+    obs.set_defaults(func=_cmd_obs)
     return parser
 
 

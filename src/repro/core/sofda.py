@@ -158,6 +158,7 @@ class AuxiliaryOracle:
                 parallel_rows=base.parallel_rows,
                 vectorized=base.vectorized,
                 row_budget_bytes=base.row_budget_bytes,
+                metrics=base.metrics,
             )
         return self._fallback
 

@@ -40,6 +40,9 @@ class Controller:
     #: deployment bounds every controller's memory, not just the
     #: coordinator's.
     row_budget_bytes: Optional[int] = None
+    #: Optional shared :class:`~repro.obs.recorder.Recorder`; ``None``
+    #: (the default) keeps every query seam zero-overhead.
+    metrics: Optional[object] = None
     #: Materialised oracle rows, keyed by source node.
     _local_dist: Dict[Node, Dict[Node, float]] = field(default_factory=dict, repr=False)
     _oracle: Optional[FrozenOracle] = field(default=None, repr=False)
@@ -49,6 +52,7 @@ class Controller:
         cls, controller_id: int, domain: Set[Node], graph: Graph,
         parallel_rows: int = 0, vectorized: bool = False,
         row_budget_bytes: Optional[int] = None,
+        metrics: Optional[object] = None,
     ) -> "Controller":
         """Build a controller from the global graph and its domain."""
         local = graph.subgraph(domain)
@@ -67,6 +71,7 @@ class Controller:
             parallel_rows=parallel_rows,
             vectorized=vectorized,
             row_budget_bytes=row_budget_bytes,
+            metrics=metrics if metrics else None,
         )
 
     # ------------------------------------------------------------------
@@ -88,21 +93,35 @@ class Controller:
                 parallel_rows=self.parallel_rows,
                 vectorized=self.vectorized,
                 row_budget_bytes=self.row_budget_bytes,
+                metrics=self.metrics,
             )
         return self._oracle
 
-    def cache_stats(self) -> Dict[str, Optional[int]]:
-        """Row-cache counters of the per-domain oracle.
+    def cache_snapshot(self) -> Dict[str, Optional[int]]:
+        """The per-domain oracle's counters as a unified snapshot.
 
-        See :meth:`~repro.graph.indexed.FrozenOracle.cache_stats`; a
-        coordinator-level residency rebalancer reads these to apportion
-        a global budget across domains.
+        Returns the ``sof-cache-stats/1`` shape documented in
+        :mod:`repro.obs` with ``scope="controller"`` plus a ``domain``
+        key (this controller's id); a coordinator-level residency
+        rebalancer reads these to apportion a global budget across
+        domains.
         """
-        return self.oracle.cache_stats()
+        snapshot = self.oracle.cache_snapshot(scope="controller")
+        snapshot["domain"] = self.controller_id
+        return snapshot
+
+    def cache_stats(self) -> Dict[str, Optional[int]]:
+        """Alias of :meth:`cache_snapshot` (legacy name)."""
+        return self.cache_snapshot()
 
     def local_distances_from(self, node: Node) -> Dict[Node, float]:
         """Intra-domain shortest-path costs from ``node`` (an oracle row)."""
         if node not in self._local_dist:
+            if self.metrics:
+                self.metrics.inc(
+                    "dist.query", domain=self.controller_id,
+                    op="distances_from",
+                )
             self._local_dist[node] = self.oracle.distances_from(node)
         return self._local_dist[node]
 
@@ -113,6 +132,10 @@ class Controller:
         ("a matrix that consists of the lengths between every pair of
         border routers").
         """
+        if self.metrics:
+            self.metrics.inc(
+                "dist.query", domain=self.controller_id, op="border_matrix"
+            )
         matrix: Dict[Tuple[Node, Node], float] = {}
         for b1 in self.border_routers:
             dist = self.local_distances_from(b1)
@@ -125,6 +148,11 @@ class Controller:
         """Intra-domain distances from a covered node to each border router."""
         if not self.covers(node):
             raise KeyError(f"{node!r} is outside domain {self.controller_id}")
+        if self.metrics:
+            self.metrics.inc(
+                "dist.query", domain=self.controller_id,
+                op="distance_to_borders",
+            )
         dist = self.local_distances_from(node)
         return {b: dist.get(b, INF) for b in self.border_routers}
 

@@ -69,13 +69,15 @@ class DistributedSOFDA:
         self.instance = instance
         self.domains = partition_domains(instance.graph, num_domains, seed=seed)
         # Per-domain oracles inherit the instance oracle's kernel-tier
-        # knobs, mirroring AuxiliaryOracle's fallback.
+        # knobs and recorder, mirroring AuxiliaryOracle's fallback.
         base = instance.oracle
+        self._metrics = base.metrics
         self.controllers = [
             Controller.for_domain(
                 i, domain, instance.graph,
                 parallel_rows=base.parallel_rows, vectorized=base.vectorized,
                 row_budget_bytes=base.row_budget_bytes,
+                metrics=base.metrics,
             )
             for i, domain in enumerate(self.domains)
         ]
@@ -182,6 +184,15 @@ class DistributedSOFDA:
         # Phase 5: rule installation fan-out from the leader.
         for i in touched:
             self.bus.send(leader, i, "rule-install", len(tree_nodes))
+
+        mx = self._metrics
+        if mx:
+            # Mirror the bus's per-kind accounting into the registry so
+            # one snapshot covers the whole run (the bus keeps the
+            # authoritative log; these counters are a read-only view).
+            for kind, (count, size) in sorted(self.bus.by_kind().items()):
+                mx.inc("dist.messages", count, kind=kind)
+                mx.inc("dist.message_entries", size, kind=kind)
 
         return DistributedResult(
             forest=result.forest,

@@ -30,6 +30,7 @@ def _four_panel(
     sweeps: Optional[Dict[str, Sequence[int]]] = None,
     ilp_time_limit: float = 120.0,
     workers: int = 1,
+    metrics=None,
 ) -> Dict[str, SweepResult]:
     algorithms = default_algorithms(
         include_ilp=include_ilp, ilp_time_limit=ilp_time_limit
@@ -39,7 +40,7 @@ def _four_panel(
         parameter: run_sweep(
             network, parameter, values,
             algorithms=algorithms, seeds=seeds, overrides=overrides,
-            workers=workers,
+            workers=workers, metrics=metrics,
         )
         for parameter, values in sweeps.items()
     }
@@ -53,6 +54,7 @@ def fig8_softlayer(
     topology_seed: int = 1,
     ilp_time_limit: float = 120.0,
     workers: int = 1,
+    metrics=None,
 ) -> Dict[str, SweepResult]:
     """Fig. 8: the four sweeps on SoftLayer, including the CPLEX optimum.
 
@@ -64,6 +66,7 @@ def fig8_softlayer(
     return _four_panel(
         softlayer_network(seed=topology_seed), seeds, include_ilp, overrides,
         sweeps, ilp_time_limit=ilp_time_limit, workers=workers,
+        metrics=metrics,
     )
 
 
@@ -73,11 +76,12 @@ def fig9_cogent(
     sweeps: Optional[Dict[str, Sequence[int]]] = None,
     topology_seed: int = 1,
     workers: int = 1,
+    metrics=None,
 ) -> Dict[str, SweepResult]:
     """Fig. 9: the four sweeps on Cogent (no CPLEX -- too large)."""
     return _four_panel(
         cogent_network(seed=topology_seed), seeds, False, overrides, sweeps,
-        workers=workers,
+        workers=workers, metrics=metrics,
     )
 
 
@@ -90,6 +94,7 @@ def fig10_inet(
     sweeps: Optional[Dict[str, Sequence[int]]] = None,
     topology_seed: int = 1,
     workers: int = 1,
+    metrics=None,
 ) -> Dict[str, SweepResult]:
     """Fig. 10: the four sweeps on the Inet-style synthetic topology.
 
@@ -103,7 +108,10 @@ def fig10_inet(
         num_datacenters=num_datacenters,
         seed=topology_seed,
     )
-    return _four_panel(network, seeds, False, overrides, sweeps, workers=workers)
+    return _four_panel(
+        network, seeds, False, overrides, sweeps, workers=workers,
+        metrics=metrics,
+    )
 
 
 def fig11_setup_cost(
@@ -113,6 +121,7 @@ def fig11_setup_cost(
     overrides: Optional[Dict[str, int]] = None,
     topology_seed: int = 1,
     workers: int = 1,
+    metrics=None,
 ) -> Dict[str, Dict[int, List[float]]]:
     """Fig. 11: SOFDA's cost (a) and used-VM count (b) vs setup-cost multiple.
 
@@ -137,6 +146,7 @@ def fig11_setup_cost(
                 setup_cost_multiplier=float(multiple),
                 overrides=merged_overrides,
                 workers=workers,
+                metrics=metrics,
             )
             cost[length].append(sweep.mean_cost["SOFDA"][0])
             vms[length].append(sweep.mean_vms_used["SOFDA"][0])
@@ -148,6 +158,7 @@ def fig12_online(
     num_requests: int = 30,
     seed: int = 0,
     topology_seed: int = 1,
+    metrics=None,
 ) -> Dict[str, List[float]]:
     """Fig. 12: accumulative online cost per algorithm.
 
@@ -169,5 +180,6 @@ def fig12_online(
         "eST": est_baseline,
         "ST": st_baseline,
     }
-    results = run_online_comparison(factory, embedders, requests)
+    results = run_online_comparison(factory, embedders, requests,
+                                    metrics=metrics)
     return {name: result.accumulative_cost for name, result in results.items()}

@@ -232,6 +232,7 @@ def run_sweep(
     vm_capacity: float = 1.0,
     workers: int = 1,
     algo_workers: int = 1,
+    metrics=None,
 ) -> SweepResult:
     """Sweep ``parameter`` over ``values`` with everything else at defaults.
 
@@ -256,6 +257,14 @@ def run_sweep(
     measure zero; the perf bench cross-checks this on every run).
     Combining both knobs is safe: cell workers are daemonic, so the
     inner dispatch degrades to the serial loop.
+
+    ``metrics`` (an optional :class:`~repro.obs.recorder.Recorder`)
+    folds the per-cell solver timings into the registry *after* the
+    pool merge, in deterministic cell order: one ``sweep.cell``
+    histogram observation per (cell, algorithm) plus a ``sweep.cells``
+    counter.  Anything recorded inside a forked worker dies with its
+    copy-on-write memory, so this parent-side merge is the only place
+    sweep timings reach a registry.
     """
     if parameter not in DEFAULTS:
         raise ValueError(
@@ -290,6 +299,13 @@ def run_sweep(
         cell_results = _map_cells(cells, workers)
     finally:
         _SWEEP_STATE.clear()
+
+    mx = metrics if metrics else None
+    if mx:
+        for (config, seed), cell in zip(cells, cell_results):
+            mx.inc("sweep.cells", parameter=parameter)
+            for name in algorithms:
+                mx.observe("sweep.cell", cell[name][2], algo=name)
 
     for value_index in range(len(values)):
         block = cell_results[value_index * seeds:(value_index + 1) * seeds]

@@ -1768,6 +1768,7 @@ class FrozenOracle:
         parallel_rows: int = 0,
         vectorized: bool = False,
         row_budget_bytes: Optional[int] = None,
+        metrics: Optional[object] = None,
     ) -> None:
         self._graph = graph
         self._hot: set = set(hot) if hot is not None else set()
@@ -1820,6 +1821,26 @@ class FrozenOracle:
         #: equivalence/bench reference, exactly as ``planner=`` /
         #: ``share_regions=`` / ``topology_patch=`` gate their layers.
         self._vectorized = bool(vectorized)
+        #: Observability (PR 10): ``metrics=`` carries a
+        #: :class:`~repro.obs.recorder.Recorder` that the instrumented
+        #: seams (cold builds, patch repairs, fork batches, cache
+        #: snapshots, batch queries) report into.  ``None`` (the
+        #: default) and the falsy :data:`~repro.obs.recorder.NULL_RECORDER`
+        #: keep every hot path on a single truthiness check --
+        #: zero-overhead and bit-identical, the same flag-gated-reference
+        #: discipline as the other knobs.  Recording never feeds back
+        #: into algorithm state, so served values are identical either
+        #: way.
+        self._metrics = metrics if metrics else None
+        if self._metrics is not None and getattr(
+            self._metrics, "registry", None
+        ) is not None:
+            # Region-share group sizes are row counts, not durations;
+            # give their histogram size-flavoured buckets.
+            self._metrics.registry.declare_histogram(
+                "oracle.repair.share_group_rows",
+                (1, 4, 16, 64, 256, 1024, 4096),
+            )
         #: Canonical node pairs currently tombstoned in the built cores.
         #: A removed edge's CSR slots persist at weight ``inf``, so an
         #: edge may only be (re)inserted while its slots still exist --
@@ -1890,24 +1911,50 @@ class FrozenOracle:
         """Row-cache residency budget in bytes (``None`` = unbounded)."""
         return self._rows.budget_bytes
 
-    def cache_stats(self) -> Dict[str, Optional[int]]:
-        """Row-cache residency and traffic counters for service layers.
+    @property
+    def metrics(self):
+        """The attached recorder, or ``None`` when observability is off."""
+        return self._metrics
 
-        The :meth:`RowCache.stats` snapshot (rows resident, accounted
+    def _tree_index_bytes(self) -> int:
+        """Estimated residency of the inverted pair->rows tree-edge index."""
+        index = self._tree_index
+        if index is None:
+            return 0
+        return 64 * len(index) \
+            + 8 * sum(len(bucket) for bucket in index.values())
+
+    def cache_snapshot(self, scope: str = "oracle") -> Dict[str, Optional[int]]:
+        """Unified cache snapshot (schema ``sof-cache-stats/1``).
+
+        The :meth:`RowCache.stats` counters (rows resident, accounted
         bytes, peak, hits/misses, evictions by policy, budget
-        overshoots) plus ``tree_index_bytes``: the estimated residency
-        of the inverted pair->rows tree-edge index, which the oracle
-        owns outside the per-row budget because the adaptive index
-        policy already builds and drops it wholesale by patch density.
+        overshoots) plus ``tree_index_bytes`` -- the inverted
+        pair->rows tree-edge index, which the oracle owns outside the
+        per-row budget because the adaptive index policy already builds
+        and drops it wholesale by patch density -- tagged with the
+        schema version and the reporting ``scope``.  The documented
+        shape every layer shares: see :mod:`repro.obs` for the full key
+        table.  When a recorder is attached, the same numbers are also
+        folded into the registry as ``<scope>.cache.*`` gauges.
         """
         stats = self._rows.stats()
-        index = self._tree_index
-        index_bytes = 0
-        if index is not None:
-            index_bytes = 64 * len(index) \
-                + 8 * sum(len(bucket) for bucket in index.values())
-        stats["tree_index_bytes"] = index_bytes
+        stats["tree_index_bytes"] = self._tree_index_bytes()
+        mx = self._metrics
+        if mx:
+            self._publish_cache(mx, scope)
+        stats["schema"] = "sof-cache-stats/1"
+        stats["scope"] = scope
         return stats
+
+    def cache_stats(self) -> Dict[str, Optional[int]]:
+        """Thin alias of :meth:`cache_snapshot` (the pre-PR-10 name)."""
+        return self.cache_snapshot()
+
+    def _publish_cache(self, mx, scope: str = "oracle") -> None:
+        """Fold the cache counters into the registry as gauges."""
+        self._rows.publish(mx, prefix=f"{scope}.cache")
+        mx.gauge(f"{scope}.cache.tree_index_bytes", self._tree_index_bytes())
 
     def _deregister_row(self, source_id: int, row: _Row) -> None:
         """Shed an evicted row's tree-edge index registrations.
@@ -1949,6 +1996,8 @@ class FrozenOracle:
     def _build(self) -> None:
         if self._built:
             return
+        mx = self._metrics
+        t0 = mx.clock() if mx else 0.0
         if self._hot and _costs_mostly_distinct(self._graph):
             contracted = _ContractedCore(self._graph, self._hot)
             if len(contracted.interior) >= CONTRACT_MIN_INTERIOR:
@@ -1958,6 +2007,11 @@ class FrozenOracle:
             index = self._core.index
             self._hot_ids = [index[n] for n in self._hot if n in index]
         self._built = True
+        if mx:
+            mx.span(
+                "oracle.build", t0,
+                kind="contracted" if self._contracted is not None else "core",
+            )
 
     @property
     def core(self) -> IndexedGraph:
@@ -2020,14 +2074,21 @@ class FrozenOracle:
                 else:
                     row.used = True
             if len(missing) >= PARALLEL_MIN_BATCH and self._parallel_rows > 1:
+                mx = self._metrics
+                t0 = mx.clock() if mx else 0.0
                 payloads = kernel.fork_map(
                     self._cold_contracted_payload, missing,
                     self._parallel_rows, label="prefetch_rows",
+                    metrics=mx,
                 )
                 for cid, payload in zip(missing, payloads):
                     row = self._freeze_row(*payload)
                     self._install_row(cid, row)
                     row.used = True
+                if mx:
+                    mx.inc("oracle.rows.cold", len(missing))
+                    mx.span("oracle.prefetch", t0, mode="fork",
+                            trace_args={"rows": len(missing)})
             else:
                 for cid in missing:
                     self._contracted_row(cid)
@@ -2047,13 +2108,20 @@ class FrozenOracle:
             else:
                 row.used = True
         if len(missing) >= PARALLEL_MIN_BATCH and self._parallel_rows > 1:
+            mx = self._metrics
+            t0 = mx.clock() if mx else 0.0
             payloads = kernel.fork_map(
                 self._cold_row_payload, missing,
                 self._parallel_rows, label="prefetch_rows",
+                metrics=mx,
             )
             for node_id, payload in zip(missing, payloads):
                 row = self._freeze_row(*payload)
                 self._install_row(node_id, row)
+            if mx:
+                mx.inc("oracle.rows.cold", len(missing))
+                mx.span("oracle.prefetch", t0, mode="fork",
+                        trace_args={"rows": len(missing)})
         else:
             for node_id in missing:
                 self._compute(node_id, None)
@@ -2185,6 +2253,8 @@ class FrozenOracle:
         # Exact-but-uncached side caches cannot be patched selectively, and
         # the row-root heuristic counts are reset exactly as a rebuild
         # would, so both paths grow the same row set afterwards.
+        mx = self._metrics
+        t0 = mx.clock() if mx else 0.0
         self._slow_rows.clear()
         self._paths.clear()
         self._queries.clear()
@@ -2207,6 +2277,11 @@ class FrozenOracle:
                 (a, b, cost) for a, b, _, cost in id_changes
             )
             self._patch_rows(self._core._rows, id_changes)
+        if mx:
+            mx.inc("oracle.patch.edges", len(applied))
+            mx.span("oracle.patch.costs", t0,
+                    trace_args={"edges": len(applied)})
+            self._publish_cache(mx)
         return len(applied)
 
     # ------------------------------------------------------------------
@@ -2316,6 +2391,8 @@ class FrozenOracle:
         if not self._topology_patch:
             self.invalidate()
             return count
+        mx = self._metrics
+        t0 = mx.clock() if mx else 0.0
         for key in dead:
             self._tombstones.add(key)
         for key in born:
@@ -2360,6 +2437,12 @@ class FrozenOracle:
             plan = _PatchPlan(self._core._rows, id_changes)
             plan._classified = [(a, b, -1) for a, b in plan.increases]
             self._patch_rows(self._core._rows, id_changes, plan=plan)
+        if mx:
+            mx.inc("oracle.patch.topology_changes", count)
+            mx.span("oracle.patch.topology", t0, trace_args={
+                "removed": len(removals), "inserted": len(born),
+            })
+            self._publish_cache(mx)
         return count
 
     def _patch_rows(
@@ -2403,6 +2486,8 @@ class FrozenOracle:
         decreases = plan.decreases
         if not increases and not decreases:
             return
+        mx = self._metrics
+        t0 = mx.clock() if mx else 0.0
         rows = self._rows
         if not self._planner or decreases:
             if self._planner:
@@ -2423,9 +2508,13 @@ class FrozenOracle:
                 elif _repair_row(adjacency, row, increases, decreases):
                     row.stale = True
                     row.used = False
+                    if mx:
+                        mx.inc("oracle.repair.rows", path="reference")
                 else:
                     rows.evict(source_id, "repair")
             rows.enforce()
+            if mx:
+                mx.span("oracle.repair", t0, mode="reference")
             return
 
         # Planned pure-increase patch: classify once, then repair only the
@@ -2495,6 +2584,10 @@ class FrozenOracle:
             if dense:
                 share_groups = {c: [] for c in dense}
                 union_cache = {}
+                if mx:
+                    # Region-share group sizes: rows per dense root.
+                    for c in dense:
+                        mx.observe("oracle.repair.share_group_rows", counts[c])
 
         live = 0
         repaired = 0
@@ -2537,6 +2630,10 @@ class FrozenOracle:
                             adjacency, row, roots, share_groups
                         )
                     jobs.append((sid, row, hits, walk_roots, roots, leafs))
+                    if mx:
+                        mx.inc("oracle.repair.rows",
+                               path="shared" if hits else "planned",
+                               dispatch="fork")
                 else:
                     row.stale = True
                     row.used = False
@@ -2571,8 +2668,9 @@ class FrozenOracle:
 
             payloads = kernel.fork_map(
                 _repair_job, range(len(jobs)), self._parallel_rows,
-                label="patch_rows",
+                label="patch_rows", metrics=mx,
             )
+            t_merge = mx.clock() if mx else 0.0
             for job, payload in zip(jobs, payloads):
                 sid, row = job[0], job[1]
                 n_affected, ids, dvals, pvals, svals, cutoff = payload
@@ -2595,6 +2693,9 @@ class FrozenOracle:
                             _index_add(index, v, p, sid)
                 row.stale = True
                 row.used = False
+            if mx:
+                mx.span("oracle.fork.merge", t_merge,
+                        trace_args={"jobs": len(jobs)})
         else:
             for sid, row in list(rows.items()):
                 if not row.used:
@@ -2620,6 +2721,9 @@ class FrozenOracle:
                         affected = _repair_row_planned(
                             adjacency, row, roots or (), leafs or ()
                         )
+                    if mx:
+                        mx.inc("oracle.repair.rows",
+                               path="shared" if hits else "planned")
                     if index is not None and affected:
                         parent = row.parent
                         for v in affected:
@@ -2648,6 +2752,9 @@ class FrozenOracle:
         # this is a no-op unless the idle drop was outweighed by the
         # interval's installs).
         rows.enforce()
+        if mx:
+            mx.span("oracle.repair", t0, mode="planned",
+                    trace_args={"live": live, "repaired": repaired})
 
     def _resolve_shared(
         self,
@@ -2751,6 +2858,7 @@ class FrozenOracle:
             topology_patch=self._topology_patch,
             parallel_rows=self._parallel_rows, vectorized=self._vectorized,
             row_budget_bytes=self._rows.budget_bytes,
+            metrics=self._metrics,
         )
         if self._built:
             clone._built = True
@@ -2824,9 +2932,14 @@ class FrozenOracle:
     def _contracted_row(self, cid: int) -> _Row:
         row = self._rows.get(cid)
         if row is None:
+            mx = self._metrics
+            t0 = mx.clock() if mx else 0.0
             dist, parent = self._contracted.dijkstra(cid)
             row = self._freeze_row(dist, parent, None, True)
             self._install_row(cid, row)
+            if mx:
+                mx.inc("oracle.rows.cold")
+                mx.span("oracle.row_build", t0, kind="cold")
         row.used = True
         return row
 
@@ -2837,6 +2950,8 @@ class FrozenOracle:
     def _compute(self, source_id: int, target_id: Optional[int]) -> _Row:
         """Compute and cache a row, early-stopped at the hot set if any."""
         core = self.core
+        mx = self._metrics
+        t0 = mx.clock() if mx else 0.0
         if self._hot_ids and not self._patchable:
             targets = (
                 self._hot_ids if target_id is None
@@ -2848,6 +2963,9 @@ class FrozenOracle:
             dist, parent, settled, _ = core.dijkstra(source_id)
             row = self._freeze_row(dist, parent, settled, True)
         self._install_row(source_id, row)
+        if mx:
+            mx.inc("oracle.rows.cold")
+            mx.span("oracle.row_build", t0, kind="cold")
         return row
 
     def _row_serving(self, source_id: int, target_id: int) -> _Row:
@@ -2865,9 +2983,13 @@ class FrozenOracle:
                 return self._compute(source_id, target_id)
             # Cached but early-stopped short of the target: upgrade in full
             # so repeated cold queries never re-run the search.
+            mx = self._metrics
+            t0 = mx.clock() if mx else 0.0
             dist, parent, settled, _ = self.core.dijkstra(source_id)
             row = self._freeze_row(dist, parent, settled, True)
             self._install_row(source_id, row)
+            if mx:
+                mx.span("oracle.row_build", t0, kind="upgrade")
             return row
         return self._compute(source_id, target_id)
 
@@ -2950,6 +3072,18 @@ class FrozenOracle:
         to the per-query loop, so no code path ever computes or serves a
         row the scalar calls would not have.
         """
+        mx = self._metrics
+        if not mx:
+            return self._distances_to_impl(source, targets)
+        t0 = mx.clock()
+        out = self._distances_to_impl(source, targets)
+        mx.span("oracle.query", t0, op="distances_to",
+                trace_args={"targets": len(out)})
+        return out
+
+    def _distances_to_impl(
+        self, source: Node, targets: Sequence[Node]
+    ) -> List[float]:
         targets = list(targets)
         np = kernel.np
         if not self._vectorized or np is None or not targets:
@@ -3024,6 +3158,19 @@ class FrozenOracle:
         or rev-served a row, so callers fall back to the legacy loop and
         the oracle's cache evolves identically either way.
         """
+        mx = self._metrics
+        if not mx:
+            return self._detour_distances_impl(a, b, targets)
+        t0 = mx.clock()
+        out = self._detour_distances_impl(a, b, targets)
+        if out is not None:
+            mx.span("oracle.query", t0, op="detour_distances",
+                    trace_args={"targets": len(out[0])})
+        return out
+
+    def _detour_distances_impl(
+        self, a: Node, b: Node, targets: Sequence[Node]
+    ) -> Optional[Tuple[List[float], List[float]]]:
         np = kernel.np
         if not self._vectorized or np is None:
             return None
@@ -3206,6 +3353,16 @@ class FrozenOracle:
 
     def distances_from(self, source: Node) -> Dict[Node, float]:
         """All shortest-path costs from ``source`` (a full row, cached)."""
+        mx = self._metrics
+        if not mx:
+            return self._distances_from_impl(source)
+        t0 = mx.clock()
+        out = self._distances_from_impl(source)
+        mx.span("oracle.query", t0, op="distances_from",
+                trace_args={"targets": len(out)})
+        return out
+
+    def _distances_from_impl(self, source: Node) -> Dict[Node, float]:
         self._build()
         contracted = self._contracted
         if contracted is not None:

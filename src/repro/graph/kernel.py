@@ -120,6 +120,7 @@ def fork_map(
     workers: int,
     label: str = "fork_map",
     chunksize: Optional[int] = None,
+    metrics=None,
 ) -> List[R]:
     """Map ``fn`` over ``items`` on a fork pool; results stay in order.
 
@@ -130,15 +131,32 @@ def fork_map(
     cannot have children), or a platform without fork (reported once with
     a ``RuntimeWarning`` naming ``label``) -- run ``fn`` in-process, so
     results are identical either way for pure functions.
+
+    ``metrics`` (an optional :class:`~repro.obs.recorder.Recorder`)
+    records one ``kernel.fork`` span per dispatched batch plus
+    batch/item counters, on the *parent* side only -- anything a worker
+    would record dies with its copy-on-write memory, so workers stay
+    uninstrumented and the pipe payloads unchanged.
     """
     global _WORKER_FN, _warned_no_fork
     items = list(items)
+    mx = metrics if metrics else None
+    t0 = mx.clock() if mx else 0.0
+
+    def _record(mode: str, out: List[R]) -> List[R]:
+        if mx:
+            mx.inc("kernel.fork.batches", pool=label, mode=mode)
+            mx.inc("kernel.fork.items", len(items), pool=label, mode=mode)
+            mx.span("kernel.fork", t0, pool=label, mode=mode,
+                    trace_args={"items": len(items)})
+        return out
+
     if workers <= 1 or len(items) <= 1:
-        return [fn(item) for item in items]
+        return _record("serial", [fn(item) for item in items])
     if multiprocessing.current_process().daemon:
         # Nested inside another pool's worker: silently serial (expected
         # composition, e.g. per-algorithm dispatch inside a sweep cell).
-        return [fn(item) for item in items]
+        return _record("serial", [fn(item) for item in items])
     if not fork_available():
         if not _warned_no_fork:
             _warned_no_fork = True
@@ -148,14 +166,16 @@ def fork_map(
                 RuntimeWarning,
                 stacklevel=3,
             )
-        return [fn(item) for item in items]
+        return _record("serial", [fn(item) for item in items])
     context = multiprocessing.get_context("fork")
     _WORKER_FN = fn
     try:
         with context.Pool(processes=min(workers, len(items))) as pool:
             if chunksize is None:
                 chunksize = max(1, len(items) // (workers * 4))
-            return pool.map(_run_worker, items, chunksize=chunksize)
+            return _record(
+                "fork", pool.map(_run_worker, items, chunksize=chunksize)
+            )
     finally:
         _WORKER_FN = None
 

@@ -314,3 +314,16 @@ class RowCache(dict):
             "repair_evictions": self.repair_evictions,
             "overshoots": self.overshoots,
         }
+
+    def publish(self, recorder, prefix: str = "oracle.cache") -> None:
+        """Fold the counters into a metrics registry as gauges.
+
+        Called at the oracle's consistency boundaries (end of each
+        patch, every cache snapshot) rather than live in :meth:`get` --
+        the hottest lookup path stays untouched and the registry sees
+        the same lifetime totals :meth:`stats` reports.  ``None``-valued
+        entries (an unbounded budget) are skipped: gauges are numeric.
+        """
+        for key, value in self.stats().items():
+            if value is not None:
+                recorder.gauge(f"{prefix}.{key}", value)

@@ -1,0 +1,147 @@
+"""Recorder: the single object threaded through the ``metrics=`` knob.
+
+A :class:`Recorder` bundles a :class:`~repro.obs.metrics.MetricsRegistry`
+with an optional :class:`~repro.obs.tracer.SpanTracer` and an injectable
+clock.  Instrumented code holds at most one reference to it and follows
+the flag-gated-reference discipline every other oracle knob uses:
+
+    mx = self._metrics
+    t0 = mx.clock() if mx else 0.0
+    ...hot work, untouched...
+    if mx:
+        mx.span("oracle.repair", t0, rows=len(batch))
+
+``None`` (the default everywhere) and :data:`NULL_RECORDER` are falsy,
+so the disabled path costs one truthiness check and is bit-identical to
+uninstrumented code -- no time is read, nothing is allocated, and no
+no-op method is even dispatched.
+
+The clock is injectable (default :func:`time.perf_counter`) so CI can
+substitute a :class:`FakeClock` and assert the *entire* snapshot --
+durations included -- is byte-stable across ``PYTHONHASHSEED`` values.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable, Dict, Optional
+
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.tracer import SpanTracer
+
+
+class NullRecorder:
+    """Canonical disabled recorder: falsy, every method a no-op."""
+
+    __slots__ = ()
+    registry = None
+    tracer = None
+
+    def __bool__(self) -> bool:
+        return False
+
+    def clock(self) -> float:
+        return 0.0
+
+    def inc(self, name: str, value: float = 1, **labels: object) -> None:
+        pass
+
+    def gauge(self, name: str, value: float, **labels: object) -> None:
+        pass
+
+    def observe(self, name: str, value: float, **labels: object) -> None:
+        pass
+
+    def span(
+        self, name: str, start: float, end: Optional[float] = None,
+        trace_args: Optional[Dict[str, object]] = None, **labels: object,
+    ) -> float:
+        return 0.0
+
+    def snapshot(self) -> Dict[str, object]:
+        return {}
+
+
+#: Shared no-op instance; ``metrics=NULL_RECORDER`` behaves like ``None``.
+NULL_RECORDER = NullRecorder()
+
+
+class FakeClock:
+    """Deterministic monotone clock for byte-stable snapshots in tests/CI."""
+
+    __slots__ = ("_now", "_step")
+
+    def __init__(self, start: float = 0.0, step: float = 0.001) -> None:
+        self._now = float(start)
+        self._step = float(step)
+
+    def __call__(self) -> float:
+        now = self._now
+        self._now += self._step
+        return now
+
+
+class Recorder:
+    """Live recorder: registry + optional tracer + injectable clock."""
+
+    __slots__ = ("registry", "tracer", "clock", "_epoch")
+
+    def __init__(
+        self,
+        registry: Optional[MetricsRegistry] = None,
+        tracer: Optional[SpanTracer] = None,
+        clock: Optional[Callable[[], float]] = None,
+    ) -> None:
+        self.registry = registry if registry is not None else MetricsRegistry()
+        self.tracer = tracer
+        self.clock: Callable[[], float] = (
+            clock if clock is not None else time.perf_counter
+        )
+        #: Trace epoch: span timestamps are reported relative to recorder
+        #: construction so the timeline starts near zero.
+        self._epoch = self.clock()
+
+    def __bool__(self) -> bool:
+        return True
+
+    # ------------------------------------------------------------------
+    def inc(self, name: str, value: float = 1, **labels: object) -> None:
+        self.registry.inc(name, value, **labels)
+
+    def gauge(self, name: str, value: float, **labels: object) -> None:
+        self.registry.gauge(name, value, **labels)
+
+    def observe(self, name: str, value: float, **labels: object) -> None:
+        self.registry.observe(name, value, **labels)
+
+    def span(
+        self, name: str, start: float, end: Optional[float] = None,
+        trace_args: Optional[Dict[str, object]] = None, **labels: object,
+    ) -> float:
+        """Record a finished span that began at clock value ``start``.
+
+        Observes the duration into histogram ``name`` (labelled) and,
+        when tracing, appends the matching complete event -- so span
+        totals and histogram sums reconcile by construction.
+        ``trace_args`` attaches high-cardinality detail (counts, ids) to
+        the trace event only, keeping the histogram series space small.
+        Returns the duration in seconds.
+        """
+        if end is None:
+            end = self.clock()
+        dur = end - start
+        self.registry.observe(name, dur, **labels)
+        if self.tracer is not None:
+            args: Optional[Dict[str, object]] = (
+                dict(labels) if labels else None
+            )
+            if trace_args:
+                args = dict(args or {})
+                args.update(trace_args)
+            self.tracer.complete(
+                name, (start - self._epoch) * 1e6, dur * 1e6, args=args
+            )
+        return dur
+
+    def snapshot(self) -> Dict[str, object]:
+        return self.registry.snapshot()

@@ -1,0 +1,190 @@
+"""Span tracer with a Chrome trace-event JSONL codec.
+
+Spans are recorded as **complete** events (``ph="X"``) in the Chrome
+trace-event format: each line of the JSONL file is one JSON object with
+``name``/``cat``/``ph``/``ts``/``dur``/``pid``/``tid`` (timestamps in
+microseconds).  Nesting is inferred by trace viewers from time
+containment on the same pid/tid, so instrumented code never has to emit
+matched begin/end pairs -- it snapshots a start time and records the
+finished span in one call (see :meth:`~repro.obs.recorder.Recorder.span`).
+
+The file layout mirrors :mod:`repro.workload.trace`: line 1 is a
+metadata record (itself a valid trace event, ``ph="M"``) carrying the
+schema name and version, followed by one sorted-keys JSON event per
+line.  ``repro obs convert`` wraps the events in the JSON-array form
+(``{"traceEvents": [...]}``) that ``chrome://tracing`` / Perfetto load
+directly.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, Iterable, Iterator, List, Optional
+
+TRACE_RECORD = "sof-obs-trace"
+TRACE_VERSION = 1
+SUPPORTED_TRACE_VERSIONS = (1,)
+
+_REQUIRED_KEYS = ("name", "ph", "ts", "dur", "pid", "tid")
+
+
+class SpanTracer:
+    """Collects completed spans as Chrome trace events."""
+
+    def __init__(self, pid: int = 0) -> None:
+        self.pid = pid
+        self._events: List[Dict[str, object]] = []
+
+    def __len__(self) -> int:
+        return len(self._events)
+
+    @property
+    def events(self) -> List[Dict[str, object]]:
+        return self._events
+
+    def complete(
+        self,
+        name: str,
+        ts_us: float,
+        dur_us: float,
+        tid: int = 0,
+        cat: str = "repro",
+        args: Optional[Dict[str, object]] = None,
+    ) -> None:
+        """Record one finished span (timestamps in microseconds)."""
+        event: Dict[str, object] = {
+            "name": name, "cat": cat, "ph": "X",
+            "ts": ts_us, "dur": dur_us,
+            "pid": self.pid, "tid": tid,
+        }
+        if args:
+            event["args"] = dict(args)
+        self._events.append(event)
+
+
+# ----------------------------------------------------------------------
+# JSONL codec
+# ----------------------------------------------------------------------
+
+def metadata_event(pid: int = 0) -> Dict[str, object]:
+    """The schema-bearing first line (a legal ``ph="M"`` trace event)."""
+    return {
+        "name": "trace_metadata", "cat": "__metadata", "ph": "M",
+        "ts": 0, "dur": 0, "pid": pid, "tid": 0,
+        "args": {"record": TRACE_RECORD, "version": TRACE_VERSION},
+    }
+
+
+def dump_trace_events(
+    events: Iterable[Dict[str, object]], pid: int = 0
+) -> Iterator[str]:
+    """Serialise ``events`` to JSONL lines (metadata line first)."""
+    yield json.dumps(metadata_event(pid), sort_keys=True)
+    for event in events:
+        yield json.dumps(event, sort_keys=True)
+
+
+def write_trace_events(
+    events: Iterable[Dict[str, object]], path: str, pid: int = 0
+) -> None:
+    with open(path, "w", encoding="utf-8") as handle:
+        for line in dump_trace_events(events, pid=pid):
+            handle.write(line + "\n")
+
+
+def load_trace_events(lines: Iterable[str]) -> List[Dict[str, object]]:
+    """Parse and validate JSONL ``lines``; returns the span events.
+
+    The metadata line is checked (record name + supported version) and
+    stripped from the result.  Raises :class:`ValueError` on any schema
+    violation so callers (CI's obs-smoke step, ``repro obs validate``)
+    fail loudly on malformed traces.
+    """
+    events: List[Dict[str, object]] = []
+    meta: Optional[Dict[str, object]] = None
+    for i, line in enumerate(lines):
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            event = json.loads(line)
+        except json.JSONDecodeError as exc:
+            raise ValueError(f"trace line {i + 1} is not JSON: {exc}") from exc
+        if meta is None:
+            meta = event
+            args = event.get("args") if isinstance(event, dict) else None
+            if (
+                not isinstance(args, dict)
+                or args.get("record") != TRACE_RECORD
+            ):
+                raise ValueError(
+                    "trace line 1 is not a "
+                    f"{TRACE_RECORD!r} metadata event"
+                )
+            if args.get("version") not in SUPPORTED_TRACE_VERSIONS:
+                raise ValueError(
+                    f"unsupported trace version {args.get('version')!r} "
+                    f"(supported: {SUPPORTED_TRACE_VERSIONS})"
+                )
+            continue
+        events.append(event)
+    if meta is None:
+        raise ValueError("empty trace: missing metadata line")
+    validate_trace_events(events)
+    return events
+
+
+def read_trace_events(path: str) -> List[Dict[str, object]]:
+    with open(path, "r", encoding="utf-8") as handle:
+        return load_trace_events(handle)
+
+
+def validate_trace_events(events: Iterable[Dict[str, object]]) -> None:
+    """Raise :class:`ValueError` unless every event is a valid span."""
+    for i, event in enumerate(events):
+        where = f"trace event {i + 1}"
+        if not isinstance(event, dict):
+            raise ValueError(f"{where}: not a JSON object")
+        for key in _REQUIRED_KEYS:
+            if key not in event:
+                raise ValueError(f"{where}: missing required key {key!r}")
+        if not isinstance(event["name"], str) or not event["name"]:
+            raise ValueError(f"{where}: 'name' must be a non-empty string")
+        if event["ph"] not in ("X", "M"):
+            raise ValueError(
+                f"{where}: 'ph' must be 'X' (complete) or 'M' (metadata), "
+                f"got {event['ph']!r}"
+            )
+        for key in ("ts", "dur"):
+            value = event[key]
+            if not isinstance(value, (int, float)) or isinstance(value, bool):
+                raise ValueError(f"{where}: {key!r} must be a number")
+            if value < 0:
+                raise ValueError(f"{where}: {key!r} must be >= 0")
+        for key in ("pid", "tid"):
+            if not isinstance(event[key], int):
+                raise ValueError(f"{where}: {key!r} must be an integer")
+        if "args" in event and not isinstance(event["args"], dict):
+            raise ValueError(f"{where}: 'args' must be an object")
+
+
+def to_chrome_json(events: Iterable[Dict[str, object]]) -> str:
+    """The JSON-array form ``chrome://tracing`` / Perfetto load directly."""
+    return json.dumps(
+        {"traceEvents": list(events)}, sort_keys=True, indent=None
+    )
+
+
+def span_totals(events: Iterable[Dict[str, object]]) -> Dict[str, float]:
+    """Per-name summed span durations in **seconds** (from µs ``dur``).
+
+    Used to reconcile the trace timeline against the registry's
+    per-phase histogram sums.
+    """
+    totals: Dict[str, float] = {}
+    for event in events:
+        if event.get("ph") != "X":
+            continue
+        name = str(event["name"])
+        totals[name] = totals.get(name, 0.0) + float(event["dur"]) / 1e6
+    return {name: totals[name] for name in sorted(totals)}

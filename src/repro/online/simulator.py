@@ -112,6 +112,7 @@ class OnlineSimulator:
         parallel_rows: int = 0,
         vectorized: bool = False,
         row_budget_bytes: Optional[int] = None,
+        metrics: Optional[object] = None,
     ) -> None:
         self._network = network
         self._tracker = LoadTracker(
@@ -139,6 +140,12 @@ class OnlineSimulator:
         # simulators over large topologies bound memory by evicting
         # low-retention rows, which recompute to bit-identical labels on
         # demand.  ``None`` (the default) keeps today's unbounded cache.
+        # ``metrics`` is an optional :class:`~repro.obs.recorder.Recorder`
+        # shared with the oracle; ``None`` (the default) keeps every
+        # instrumented seam a single falsy check -- zero-overhead and
+        # bit-identical, the same flag-gated-reference discipline as the
+        # knobs above.
+        self._metrics = metrics if metrics else None
         self._incremental = incremental
         self._planner = planner
         self._share_regions = share_regions
@@ -171,7 +178,7 @@ class OnlineSimulator:
             planner=self._planner, share_regions=self._share_regions,
             topology_patch=self._topology_patch,
             parallel_rows=parallel_rows, vectorized=vectorized,
-            row_budget_bytes=row_budget_bytes,
+            row_budget_bytes=row_budget_bytes, metrics=metrics,
         )
 
     @property
@@ -179,14 +186,24 @@ class OnlineSimulator:
         """The simulator's load state."""
         return self._tracker
 
-    def cache_stats(self) -> Dict[str, Optional[int]]:
-        """The shared oracle's row-cache residency/traffic counters.
+    @property
+    def metrics(self):
+        """The attached recorder, or ``None`` when observability is off."""
+        return self._metrics
 
-        See :meth:`~repro.graph.indexed.FrozenOracle.cache_stats`; the
-        workload engine and benches read this to track resident row
-        bytes and eviction counts over a trace.
+    def cache_snapshot(self) -> Dict[str, Optional[int]]:
+        """The shared oracle's cache counters as a unified snapshot.
+
+        Returns the ``sof-cache-stats/1`` shape documented in
+        :mod:`repro.obs`, with ``scope="simulator"``; the workload engine
+        and benches read this to track resident row bytes and eviction
+        counts over a trace.
         """
-        return self._oracle.cache_stats()
+        return self._oracle.cache_snapshot(scope="simulator")
+
+    def cache_stats(self) -> Dict[str, Optional[int]]:
+        """Alias of :meth:`cache_snapshot` (legacy name)."""
+        return self.cache_snapshot()
 
     @property
     def vms(self) -> List[Node]:
@@ -216,12 +233,17 @@ class OnlineSimulator:
                 changed[(u, v)] = cost
         if not changed:
             return
+        mx = self._metrics
+        t0 = mx.clock() if mx else 0.0
         if self._incremental:
             self._oracle.patch_edge_costs(changed)
         else:
             for (u, v), cost in changed.items():
                 self._graph.add_edge(u, v, cost)
             self._oracle.invalidate()
+        if mx:
+            mx.inc("sim.sync.edges", len(changed))
+            mx.span("sim.sync", t0, trace_args={"edges": len(changed)})
 
     def apply_background_load(
         self, links: Sequence, demand_mbps: float
@@ -244,10 +266,14 @@ class OnlineSimulator:
                 f"background demand must be >= 0, got {demand_mbps!r}; "
                 "departures release load through Lease/release instead"
             )
+        mx = self._metrics
+        t0 = mx.clock() if mx else 0.0
         self._oracle.prefetch_rows(self._vms)
         for u, v in links:
             self._tracker.add_link_load(u, v, demand_mbps)
         self._sync_costs()
+        if mx:
+            mx.span("sim.background", t0, trace_args={"links": len(links)})
 
     def current_instance(self, request: Request) -> SOFInstance:
         """Materialise the SOF instance for ``request`` at current loads.
@@ -280,6 +306,8 @@ class OnlineSimulator:
         the tenant's departure can hand the same loads back through
         :meth:`release`.
         """
+        mx = self._metrics
+        t0 = mx.clock() if mx else 0.0
         link_totals = self._charge_links(
             forest, request.demand_mbps, len(request.chain)
         )
@@ -295,6 +323,11 @@ class OnlineSimulator:
             forest=forest,
         )
         self._active[id(lease)] = lease
+        if mx:
+            mx.inc("sim.commits")
+            mx.span("sim.commit", t0,
+                    trace_args={"request": request.index,
+                                "links": len(link_totals)})
         return lease
 
     def _charge_links(
@@ -352,12 +385,18 @@ class OnlineSimulator:
             raise ValueError(
                 f"lease for request {lease.request_index} already released"
             )
+        mx = self._metrics
+        t0 = mx.clock() if mx else 0.0
         for (u, v), demand in lease.link_loads:
             self._tracker.release_link_load(u, v, demand)
         for node, demand in lease.node_loads:
             self._tracker.release_node_load(node, demand)
         lease.released = True
         self._active.pop(id(lease), None)
+        if mx:
+            mx.inc("sim.releases")
+            mx.span("sim.release", t0,
+                    trace_args={"request": lease.request_index})
 
     # ------------------------------------------------------------------
     # link failure / recovery
@@ -388,6 +427,8 @@ class OnlineSimulator:
             raise ValueError(f"link {key!r} already failed")
         if not self._graph.has_edge(u, v):
             raise ValueError(f"({u!r}, {v!r}) is not a live link")
+        mx = self._metrics
+        t0 = mx.clock() if mx else 0.0
         # The VM pool is the online mode's standing working set (every
         # request's Procedure-1 sweep reads all of it): touch it before
         # patching, exactly as ``apply_background_load`` does, so the
@@ -420,6 +461,15 @@ class OnlineSimulator:
             else:
                 self._recommit(lease, new_forest)
                 rerouted.append(lease.request_index)
+        if mx:
+            mx.inc("sim.failures")
+            if rerouted:
+                mx.inc("sim.reroutes", len(rerouted), outcome="rerouted")
+            if disrupted:
+                mx.inc("sim.reroutes", len(disrupted), outcome="disrupted")
+            mx.span("sim.fail", t0,
+                    trace_args={"rerouted": len(rerouted),
+                                "disrupted": len(disrupted)})
         return FailureImpact(
             link=key, rerouted=tuple(rerouted), disrupted=tuple(disrupted)
         )
@@ -458,6 +508,8 @@ class OnlineSimulator:
         key = canonical_edge(u, v)
         if key not in self._failed:
             raise ValueError(f"link {key!r} is not a failed link")
+        mx = self._metrics
+        t0 = mx.clock() if mx else 0.0
         # Keep the VM-pool working set alive through the reinsert patch
         # (see :meth:`fail_link`).
         self._oracle.prefetch_rows(self._vms)
@@ -469,6 +521,9 @@ class OnlineSimulator:
             self._graph.add_edge(u, v, cost)
             self._oracle.invalidate()
         self._failed.discard(key)
+        if mx:
+            mx.inc("sim.recoveries")
+            mx.span("sim.recover", t0)
 
     def embed_leased(
         self, request: Request, embedder: Embedder
@@ -481,13 +536,26 @@ class OnlineSimulator:
         engine's arrival path both delegate here, so online-comparison
         and churn runs can never diverge in acceptance semantics.
         """
+        mx = self._metrics
+        t0 = mx.clock() if mx else 0.0
         instance = self.current_instance(request)
         try:
             forest = embedder(instance)
         except Exception:
+            if mx:
+                mx.inc("sim.embeds", outcome="rejected")
+                mx.span("sim.embed", t0,
+                        trace_args={"request": request.index,
+                                    "outcome": "rejected"})
             return None, None
         cost = forest.total_cost()
-        return cost, self.commit(forest, request)
+        lease = self.commit(forest, request)
+        if mx:
+            mx.inc("sim.embeds", outcome="accepted")
+            mx.span("sim.embed", t0,
+                    trace_args={"request": request.index,
+                                "outcome": "accepted"})
+        return cost, lease
 
     def embed(self, request: Request, embedder: Embedder) -> Optional[float]:
         """Embed one request; returns its cost, or ``None`` on rejection."""

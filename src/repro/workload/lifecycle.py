@@ -251,13 +251,22 @@ class WorkloadEngine:
         simulator: OnlineSimulator,
         embedder: Embedder,
         name: str = "",
+        metrics: Optional[object] = None,
     ) -> None:
         self._simulator = simulator
         self._embedder = embedder
         self._name = name
+        # ``metrics=None`` inherits the simulator's recorder, so one
+        # ``OnlineSimulator(metrics=...)`` instruments the whole stack;
+        # the engine stays zero-overhead when neither carries one.
+        mx = metrics if metrics is not None else getattr(
+            simulator, "metrics", None
+        )
+        self._metrics = mx if mx else None
 
     def run(self, schedule: Sequence[WorkloadEvent]) -> ChurnResult:
         result = ChurnResult(name=self._name)
+        mx = self._metrics
         heap: List[Tuple[float, int, int, WorkloadEvent, object]] = []
         sequence = 0
         for event in schedule:
@@ -269,15 +278,17 @@ class WorkloadEngine:
         fail_times: dict = {}
         while heap:
             time, _, _, event, lease = heapq.heappop(heap)
+            t0 = mx.clock() if mx else 0.0
             if event.kind == "depart":
                 if lease.released:
                     # A link failure already disrupted this tenant; its
                     # loads went back at release time, so the scheduled
                     # departure is a no-op.
-                    continue
-                self._simulator.release(lease)
-                result.departures += 1
-                active -= 1
+                    pass
+                else:
+                    self._simulator.release(lease)
+                    result.departures += 1
+                    active -= 1
             elif event.kind == "fail":
                 impact = self._simulator.fail_link(*event.link)
                 result.failures += 1
@@ -303,12 +314,18 @@ class WorkloadEngine:
                 result.arrival_times.append(time)
                 if cost is None:
                     result.rejected += 1
+                    if mx:
+                        mx.inc("workload.rejected", algo=self._name)
                 else:
                     result.accepted += 1
                     active += 1
                     result.peak_active = max(result.peak_active, active)
+                    if mx:
+                        mx.inc("workload.accepted", algo=self._name)
             else:
                 raise ValueError(f"unknown event kind {event.kind!r}")
+            if mx:
+                mx.span("workload.event", t0, kind=event.kind)
         result.final_active = active
         stats_fn = getattr(self._simulator, "cache_stats", None)
         if callable(stats_fn):
